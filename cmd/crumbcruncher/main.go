@@ -1,0 +1,90 @@
+// Command crumbcruncher runs the full measurement pipeline: build the
+// synthetic web, crawl it with the four synchronized crawlers, identify
+// smuggled UIDs and print the paper's tables and figures.
+//
+// Usage:
+//
+//	crumbcruncher [-seed N] [-sites N] [-walks N] [-steps N] [-parallel N]
+//	              [-small] [-save crawl.json] [-out report.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"crumbcruncher"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crumbcruncher: ")
+
+	var (
+		seed     = flag.Int64("seed", 1, "world seed (every run with the same seed and flags is identical)")
+		sites    = flag.Int("sites", 0, "number of content sites (0: config default)")
+		walks    = flag.Int("walks", 0, "number of random walks (0: config default)")
+		steps    = flag.Int("steps", 0, "steps per walk (0: the paper's 10)")
+		parallel = flag.Int("parallel", 0, "concurrent walks (0: the paper's 12)")
+		small    = flag.Bool("small", false, "use the small demo configuration")
+		savePath = flag.String("save", "", "save the crawl dataset to this JSON file")
+		outPath  = flag.String("out", "", "write the report here instead of stdout")
+		metrics  = flag.Bool("metrics", false, "emit machine-readable JSON metrics instead of the text report")
+	)
+	flag.Parse()
+
+	cfg := crumbcruncher.DefaultConfig()
+	if *small {
+		cfg = crumbcruncher.SmallConfig()
+	}
+	cfg.World.Seed = *seed
+	if *sites > 0 {
+		cfg.World.NumSites = *sites
+	}
+	if *walks > 0 {
+		cfg.Walks = *walks
+	}
+	if *steps > 0 {
+		cfg.StepsPerWalk = *steps
+	}
+	if *parallel > 0 {
+		cfg.Parallelism = *parallel
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "crawling %d walks over %d sites (seed %d)...\n",
+		cfg.Walks, cfg.World.NumSites, cfg.World.Seed)
+	run, err := crumbcruncher.Execute(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "crawl + analysis finished in %v: %d steps, %d candidate tokens, %d confirmed UIDs\n",
+		time.Since(start).Round(time.Millisecond), run.Dataset.StepCount(), len(run.Candidates), len(run.Cases))
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if *metrics {
+		if err := crumbcruncher.WriteMetricsJSON(out, run); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		crumbcruncher.WriteReport(out, run)
+	}
+
+	if *savePath != "" {
+		if err := crumbcruncher.SaveRun(*savePath, run); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dataset saved to %s\n", *savePath)
+	}
+}

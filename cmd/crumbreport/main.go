@@ -1,0 +1,62 @@
+// Command crumbreport re-analyses a saved crawl dataset (produced with
+// crumbcruncher -save) and prints the full report, optionally with
+// alternative UID-identification settings — the prior-work baselines the
+// paper compares against.
+//
+// Usage:
+//
+//	crumbreport -in crawl.json [-two-crawlers] [-no-repeat]
+//	            [-lifetime-days N] [-ratcliff-slack F] [-skip-manual]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"crumbcruncher"
+	"crumbcruncher/internal/crawler"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crumbreport: ")
+
+	var (
+		in       = flag.String("in", "", "saved crawl JSON (required)")
+		twoCrawl = flag.Bool("two-crawlers", false, "prior-work baseline: use only Safari-1 and Safari-2")
+		noRepeat = flag.Bool("no-repeat", false, "disable session-ID elimination via Safari-1R")
+		lifetime = flag.Int("lifetime-days", 0, "prior-work baseline: discard tokens with cookie lifetime under N days")
+		slack    = flag.Float64("ratcliff-slack", 0, "prior-work baseline: Ratcliff/Obershelp similarity slack for 'same value' (e.g. 0.33)")
+		skipMan  = flag.Bool("skip-manual", false, "disable the lexicon (manual review) stage")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run, err := crumbcruncher.LoadRun(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := crumbcruncher.IdentifyOptions{
+		DisableRepeatCrawler: *noRepeat,
+		SameSlack:            *slack,
+		SkipManual:           *skipMan,
+	}
+	if *twoCrawl {
+		opt.Crawlers = []string{crawler.Safari1, crawler.Safari2}
+	}
+	if *lifetime > 0 {
+		opt.LifetimeThreshold = time.Duration(*lifetime) * 24 * time.Hour
+	}
+	if *twoCrawl || *noRepeat || *lifetime > 0 || *slack > 0 || *skipMan {
+		cases, stats, an := run.Reidentify(opt)
+		run.Cases, run.Stats, run.Analysis = cases, stats, an
+	}
+
+	crumbcruncher.WriteReport(os.Stdout, run)
+}

@@ -1,0 +1,133 @@
+// Package crumbcruncher is a from-scratch Go reproduction of
+// "Measuring UID Smuggling in the Wild" (Randall et al., IMC 2022): the
+// CrumbCruncher measurement system — four synchronized crawlers, a central
+// HTTP controller, and a token-analysis pipeline — together with the
+// synthetic-web substrate it runs on (virtual network, simulated browser
+// with partitioned storage, generated tracker ecosystem).
+//
+// The one-call entry point runs the entire study:
+//
+//	run, err := crumbcruncher.Execute(crumbcruncher.DefaultConfig())
+//	if err != nil { ... }
+//	crumbcruncher.WriteReport(os.Stdout, run)
+//
+// Results carry every table and figure from the paper's evaluation:
+// run.Analysis exposes Table 2's summary, Table 3's redirector ranking,
+// Figures 4–8, the headline smuggling rate, bounce tracking, the
+// fingerprinting experiment and blocklist coverage; run.Cases are the
+// confirmed UID smuggling instances with their Table 1 buckets.
+package crumbcruncher
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"crumbcruncher/internal/analysis"
+	"crumbcruncher/internal/core"
+	"crumbcruncher/internal/countermeasures"
+	"crumbcruncher/internal/crawler"
+	"crumbcruncher/internal/report"
+	"crumbcruncher/internal/uid"
+	"crumbcruncher/internal/web"
+)
+
+// Config configures a full pipeline run. See DefaultConfig and
+// SmallConfig for starting points.
+type Config = core.Config
+
+// WorldConfig configures the synthetic web (Config.World).
+type WorldConfig = web.Config
+
+// Run is a completed pipeline run: the world, the crawl dataset, the
+// candidate tokens, the confirmed UID cases and the analysis over them.
+type Run = core.Run
+
+// Case is one confirmed UID smuggling instance.
+type Case = uid.Case
+
+// IdentifyOptions configures the UID identification stage; the zero value
+// is the paper's full method. Its baseline fields (two-crawler subsets,
+// lifetime thresholds, Ratcliff/Obershelp slack) reproduce the prior-work
+// strategies CrumbCruncher improves on.
+type IdentifyOptions = uid.Options
+
+// Analysis exposes every table and figure of the paper's evaluation.
+type Analysis = analysis.Analysis
+
+// Dataset is a complete crawl recording.
+type Dataset = crawler.Dataset
+
+// DefaultConfig returns the calibrated paper-scale configuration
+// (EXPERIMENTS.md records how its measurements compare to the paper's).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// SmallConfig returns a fast configuration for demos and tests.
+func SmallConfig() Config { return core.SmallConfig() }
+
+// Execute builds the synthetic web, runs the four-crawler crawl and the
+// token pipeline, and returns the analysed run.
+func Execute(cfg Config) (*Run, error) { return core.Execute(cfg) }
+
+// WriteReport renders the full evaluation report — every table and figure
+// — as text.
+func WriteReport(w io.Writer, r *Run) { report.Render(w, r) }
+
+// SavedRun is the on-disk form of a crawl: the configuration (to rebuild
+// the deterministic world) plus the recorded dataset.
+type SavedRun struct {
+	Config  Config   `json:"config"`
+	Dataset *Dataset `json:"dataset"`
+}
+
+// SaveRun writes a run's crawl to a JSON file for later re-analysis with
+// cmd/crumbreport.
+func SaveRun(path string, r *Run) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("crumbcruncher: save run: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	return enc.Encode(SavedRun{Config: r.Config, Dataset: r.Dataset})
+}
+
+// LoadRun reads a saved crawl and re-runs the analysis pipeline over it.
+// The synthetic world is rebuilt deterministically from the saved
+// configuration.
+func LoadRun(path string) (*Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("crumbcruncher: load run: %w", err)
+	}
+	defer f.Close()
+	var saved SavedRun
+	if err := json.NewDecoder(f).Decode(&saved); err != nil {
+		return nil, fmt.Errorf("crumbcruncher: decode run: %w", err)
+	}
+	world := web.BuildWorld(saved.Config.World)
+	return core.Analyze(saved.Config, world, saved.Dataset)
+}
+
+// --- Countermeasures (§7) ---------------------------------------------------
+
+// Debouncer rewrites redirector navigations to their true destinations
+// (Brave's defence).
+type Debouncer = countermeasures.Debouncer
+
+// NewDebouncer builds a Debouncer from known-smuggler hosts and a
+// query-parameter blocklist.
+func NewDebouncer(bounceHosts, stripParams []string) *Debouncer {
+	return countermeasures.NewDebouncer(bounceHosts, stripParams)
+}
+
+// StripSuspectedUIDs removes known and UID-shaped query parameters from a
+// URL — the paper's proposed mitigation.
+func StripSuspectedUIDs(rawURL string, knownParams map[string]bool) string {
+	return countermeasures.StripSuspectedUIDs(rawURL, knownParams)
+}
+
+// BreakageSummary tallies how pages degrade when their UID parameters are
+// stripped (the §6 experiment).
+type BreakageSummary = countermeasures.BreakageSummary

@@ -1,0 +1,28 @@
+package crumbcruncher_test
+
+import (
+	"fmt"
+
+	"crumbcruncher"
+)
+
+// Stripping suspected UID parameters is the paper's proposed mitigation
+// (§7.2): known parameter names and UID-shaped values are removed, benign
+// parameters are kept.
+func ExampleStripSuspectedUIDs() {
+	cleaned := crumbcruncher.StripSuspectedUIDs(
+		"http://shop.example.com/land?gclid=4f2a9c1b7d8e0011aabb&lang=en-US&page=2",
+		map[string]bool{"gclid": true},
+	)
+	fmt.Println(cleaned)
+	// Output: http://shop.example.com/land?lang=en-US&page=2
+}
+
+// Debouncing (Brave, §7.1): when a redirector URL encodes its true
+// destination in a query parameter, navigate straight there.
+func ExampleDebouncer_Debounce() {
+	d := crumbcruncher.NewDebouncer(nil, []string{"zclid"})
+	res := d.Debounce("http://smuggler.example.net/c?d=http%3A%2F%2Fshop.example.com%2F%3Fzclid%3Ddeadbeef01")
+	fmt.Println(res.Debounced, res.URL)
+	// Output: true http://shop.example.com/
+}

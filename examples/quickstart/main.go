@@ -1,0 +1,47 @@
+// Quickstart: run a small end-to-end measurement and print the headline
+// results — the fastest way to see CrumbCruncher find UID smuggling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crumbcruncher"
+	"crumbcruncher/internal/uid"
+)
+
+func main() {
+	cfg := crumbcruncher.SmallConfig()
+	cfg.Walks = 60
+
+	run, err := crumbcruncher.Execute(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Crawled %d walks (%d synchronized steps) over %d synthetic sites.\n",
+		len(run.Dataset.Walks), run.Dataset.StepCount(), cfg.World.NumSites)
+	fmt.Printf("Extracted %d cross-context token candidates.\n", len(run.Candidates))
+	fmt.Printf("Confirmed %d smuggled UIDs — %.1f%% of the %d unique navigation paths.\n\n",
+		len(run.Cases),
+		100*run.Analysis.SmugglingRate(),
+		run.Analysis.Summarize().UniqueURLPaths)
+
+	fmt.Println("How the UIDs were observed across crawlers (Table 1):")
+	buckets := uid.BucketCounts(run.Cases)
+	for _, b := range uid.Buckets {
+		fmt.Printf("  %-46s %d\n", b, buckets[b])
+	}
+
+	fmt.Println("\nBusiest smuggling redirectors (Table 3):")
+	for _, row := range run.Analysis.TopRedirectors(5) {
+		kind := "dedicated smuggler"
+		if row.MultiPurpose {
+			kind = "multi-purpose"
+		}
+		fmt.Printf("  %-34s %3d domain paths (%.1f%%)  [%s]\n",
+			row.Host, row.Count, row.PctDomainPaths, kind)
+	}
+
+	fmt.Println("\nFor the full report: go run ./cmd/crumbcruncher -small")
+}

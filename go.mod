@@ -1,0 +1,3 @@
+module crumbcruncher
+
+go 1.22

@@ -1,0 +1,266 @@
+// Package analysis computes every table and figure in the paper's
+// evaluation (§5): the navigation-path summary (Table 2), the redirector
+// ranking with dedicated/multi-purpose classification (Table 3, §5.1),
+// originator/destination organisations (Figure 4) and categories
+// (Figure 5), third-party UID leakage (Figure 6), redirector-count and
+// path-portion distributions (Figures 7 and 8), the headline smuggling
+// rate, bounce tracking (§8), the fingerprinting experiment (§3.5), crawl
+// failure rates (§3.3), and blocklist coverage gaps (§5.1, §7.1).
+package analysis
+
+import (
+	"sort"
+
+	"crumbcruncher/internal/crawler"
+	"crumbcruncher/internal/tokens"
+	"crumbcruncher/internal/uid"
+)
+
+// Analysis holds the crawl products and the indexes derived from them.
+type Analysis struct {
+	ds    *crawler.Dataset
+	paths []*tokens.Path
+	cases []*uid.Case
+
+	// urlPaths indexes unique URL paths.
+	urlPaths map[string]*pathAgg
+	// smugglingPaths maps the identity of paths that carried a confirmed
+	// UID.
+	smugglingPaths map[*tokens.Path]bool
+	// casesByPath groups cases by the paths their candidates traversed.
+	casesByPath map[*tokens.Path][]*uid.Case
+	// endFQDNs is every FQDN observed as an originator or destination
+	// anywhere in the crawl — input to the dedicated-smuggler rule.
+	endFQDNs map[string]bool
+	// redirectors indexes every redirector FQDN seen in smuggling paths.
+	redirectors map[string]*redirectorAgg
+	// dedicated caches the classification.
+	dedicated map[string]bool
+}
+
+// pathAgg aggregates one unique URL path.
+type pathAgg struct {
+	rep       *tokens.Path // representative instance
+	smuggling bool
+	uidCount  int
+}
+
+// redirectorAgg aggregates one redirector FQDN across smuggling paths.
+type redirectorAgg struct {
+	originDomains map[string]bool
+	destDomains   map[string]bool
+	domainPaths   map[string]bool
+}
+
+// New builds the analysis indexes.
+func New(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Case) *Analysis {
+	a := &Analysis{
+		ds:             ds,
+		paths:          paths,
+		cases:          cases,
+		urlPaths:       map[string]*pathAgg{},
+		smugglingPaths: map[*tokens.Path]bool{},
+		casesByPath:    map[*tokens.Path][]*uid.Case{},
+		endFQDNs:       map[string]bool{},
+		redirectors:    map[string]*redirectorAgg{},
+		dedicated:      map[string]bool{},
+	}
+	for _, c := range cases {
+		for _, cand := range c.Candidates {
+			a.smugglingPaths[cand.Path] = true
+			a.casesByPath[cand.Path] = append(a.casesByPath[cand.Path], c)
+		}
+	}
+	for _, p := range paths {
+		key := p.URLKey()
+		agg := a.urlPaths[key]
+		if agg == nil {
+			agg = &pathAgg{rep: p}
+			a.urlPaths[key] = agg
+		}
+		if a.smugglingPaths[p] {
+			agg.smuggling = true
+			agg.uidCount += len(a.casesByPath[p])
+		}
+		a.endFQDNs[p.Originator().Host] = true
+		a.endFQDNs[p.Destination().Host] = true
+	}
+	// Redirector aggregation over smuggling paths.
+	for p := range a.smugglingPaths {
+		for _, r := range p.Redirectors() {
+			agg := a.redirectors[r.Host]
+			if agg == nil {
+				agg = &redirectorAgg{
+					originDomains: map[string]bool{},
+					destDomains:   map[string]bool{},
+					domainPaths:   map[string]bool{},
+				}
+				a.redirectors[r.Host] = agg
+			}
+			agg.originDomains[p.Originator().Domain] = true
+			agg.destDomains[p.Destination().Domain] = true
+			agg.domainPaths[p.DomainKey()] = true
+		}
+	}
+	// Dedicated-smuggler classification (§5.1): multiple originator
+	// registered domains, multiple destination registered domains, and
+	// the FQDN never observed as an originator or destination.
+	for host, agg := range a.redirectors {
+		a.dedicated[host] = len(agg.originDomains) >= 2 &&
+			len(agg.destDomains) >= 2 &&
+			!a.endFQDNs[host]
+	}
+	return a
+}
+
+// Cases returns the confirmed UID cases.
+func (a *Analysis) Cases() []*uid.Case { return a.cases }
+
+// Summary is the paper's Table 2.
+type Summary struct {
+	UniqueURLPaths             int
+	UniqueURLPathsSmuggling    int
+	UniqueDomainPathsSmuggling int
+	UniqueRedirectors          int
+	DedicatedSmugglers         int
+	MultiPurposeSmugglers      int
+	UniqueOriginators          int
+	UniqueDestinations         int
+}
+
+// Summarize computes Table 2.
+func (a *Analysis) Summarize() Summary {
+	var s Summary
+	s.UniqueURLPaths = len(a.urlPaths)
+	domainPaths := map[string]bool{}
+	origins := map[string]bool{}
+	dests := map[string]bool{}
+	for _, agg := range a.urlPaths {
+		if !agg.smuggling {
+			continue
+		}
+		s.UniqueURLPathsSmuggling++
+		domainPaths[agg.rep.DomainKey()] = true
+		origins[agg.rep.Originator().Domain] = true
+		dests[agg.rep.Destination().Domain] = true
+	}
+	s.UniqueDomainPathsSmuggling = len(domainPaths)
+	s.UniqueRedirectors = len(a.redirectors)
+	for _, d := range a.dedicated {
+		if d {
+			s.DedicatedSmugglers++
+		} else {
+			s.MultiPurposeSmugglers++
+		}
+	}
+	s.UniqueOriginators = len(origins)
+	s.UniqueDestinations = len(dests)
+	return s
+}
+
+// SmugglingRate is the headline result: the fraction of unique URL paths
+// carrying UID smuggling (paper: 8.11%).
+func (a *Analysis) SmugglingRate() float64 {
+	if len(a.urlPaths) == 0 {
+		return 0
+	}
+	n := 0
+	for _, agg := range a.urlPaths {
+		if agg.smuggling {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a.urlPaths))
+}
+
+// BounceRate is the fraction of unique URL paths that pass through at
+// least one redirector without transferring a UID — bounce tracking
+// without smuggling (paper §8: 2.7%).
+func (a *Analysis) BounceRate() float64 {
+	if len(a.urlPaths) == 0 {
+		return 0
+	}
+	n := 0
+	for _, agg := range a.urlPaths {
+		if !agg.smuggling && len(agg.rep.Redirectors()) > 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a.urlPaths))
+}
+
+// IsDedicated reports the dedicated-smuggler classification of a
+// redirector FQDN.
+func (a *Analysis) IsDedicated(host string) bool { return a.dedicated[host] }
+
+// DedicatedSmugglers returns the classified dedicated-smuggler FQDNs,
+// sorted.
+func (a *Analysis) DedicatedSmugglers() []string {
+	var out []string
+	for host, d := range a.dedicated {
+		if d {
+			out = append(out, host)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RedirectorRow is one row of Table 3.
+type RedirectorRow struct {
+	Host string
+	// Count is the number of unique domain paths the redirector appears
+	// in.
+	Count int
+	// PctDomainPaths is Count as a percentage of all smuggling domain
+	// paths.
+	PctDomainPaths float64
+	// MultiPurpose marks non-dedicated smugglers (the asterisk in
+	// Table 3).
+	MultiPurpose bool
+}
+
+// TopRedirectors computes Table 3: the most common redirectors in unique
+// smuggling domain paths. n <= 0 returns all.
+func (a *Analysis) TopRedirectors(n int) []RedirectorRow {
+	totalDomainPaths := a.Summarize().UniqueDomainPathsSmuggling
+	rows := make([]RedirectorRow, 0, len(a.redirectors))
+	for host, agg := range a.redirectors {
+		row := RedirectorRow{
+			Host:         host,
+			Count:        len(agg.domainPaths),
+			MultiPurpose: !a.dedicated[host],
+		}
+		if totalDomainPaths > 0 {
+			row.PctDomainPaths = 100 * float64(row.Count) / float64(totalDomainPaths)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Host < rows[j].Host
+	})
+	if n > 0 && n < len(rows) {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// smugglingAggs returns the unique smuggling path aggregates in
+// deterministic order.
+func (a *Analysis) smugglingAggs() []*pathAgg {
+	keys := make([]string, 0, len(a.urlPaths))
+	for k, agg := range a.urlPaths {
+		if agg.smuggling {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]*pathAgg, len(keys))
+	for i, k := range keys {
+		out[i] = a.urlPaths[k]
+	}
+	return out
+}

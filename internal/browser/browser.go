@@ -1,0 +1,303 @@
+// Package browser implements the simulated browser CrumbCruncher drives:
+// the substitute for the paper's Chrome-under-Puppeteer. It provides the
+// narrow surface the measurement needs — navigate and follow redirect
+// chains hop by hop, parse pages, load iframes, execute on-page tracker
+// scripts, read/write cookies and localStorage under a third-party policy,
+// spoof the User-Agent, and record every web request the way the paper's
+// extension does.
+//
+// Tracker behaviour is *data*, not browser code: pages carry declarative
+// <script data-cc="..."> directives (see scripts.go) that this engine
+// interprets, the same way a real browser executes whatever JavaScript a
+// page ships. Server-side tracker behaviour (redirectors, ad servers)
+// lives in the web package's HTTP handlers; the two halves communicate
+// exclusively through real HTTP requests, cookies and URLs.
+package browser
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"crumbcruncher/internal/dom"
+	"crumbcruncher/internal/ident"
+	"crumbcruncher/internal/netsim"
+	"crumbcruncher/internal/publicsuffix"
+	"crumbcruncher/internal/storage"
+)
+
+// Simulation identity headers, re-exported from ident for convenience.
+// Handlers use them only to seed deterministic identifier derivation; see
+// the web package.
+const (
+	// HeaderProfile carries the simulated user identity (a user data
+	// directory in the paper's terms).
+	HeaderProfile = ident.HeaderProfile
+	// HeaderClient carries the crawler instance identity; Safari-1 and
+	// Safari-1R share a profile but have distinct clients, which is what
+	// makes server-issued session IDs differ between them.
+	HeaderClient = ident.HeaderClient
+	// HeaderMachine carries the machine fingerprint surface (User-Agent,
+	// fonts, codecs...); fingerprinting trackers derive UIDs from it.
+	HeaderMachine = ident.HeaderMachine
+)
+
+// DefaultSafariUA is the Safari User-Agent string the paper spoofs
+// (§3.4, footnote 3).
+const DefaultSafariUA = "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_7) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/14.1.2 Safari/605.1.15"
+
+// DefaultChromeUA is a Chrome 95 User-Agent, the real browser under the
+// hood of all four crawlers.
+const DefaultChromeUA = "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/95.0.4638.69 Safari/537.36"
+
+// Config configures a Browser.
+type Config struct {
+	// Seed is the world seed; client-side tracker scripts derive UIDs
+	// from it exactly as the server-side handlers do.
+	Seed int64
+	// ProfileID identifies the simulated user.
+	ProfileID string
+	// ClientID identifies the crawler instance.
+	ClientID string
+	// Machine identifies the crawl machine (fingerprint surface).
+	Machine string
+	// UserAgent is sent on every request.
+	UserAgent string
+	// Policy is the third-party storage policy.
+	Policy storage.Policy
+	// Network is the virtual network to talk to.
+	Network *netsim.Network
+	// MaxRedirects bounds navigation chains; 0 means the default (20).
+	MaxRedirects int
+	// ViewportWidth is used for layout; 0 means 1280.
+	ViewportWidth int
+}
+
+// Browser is one simulated browser with its own profile storage. It is
+// used by a single crawler goroutine; the request log is nevertheless
+// mutex-guarded so tests may inspect it concurrently.
+type Browser struct {
+	cfg    Config
+	store  *storage.Store
+	client *http.Client
+	clock  *netsim.VirtualClock
+	psl    *publicsuffix.List
+
+	mu       sync.Mutex
+	requests []RequestRecord
+	visits   map[string]int // per-registered-domain visit counters
+}
+
+// New returns a Browser for cfg. Network must be non-nil.
+func New(cfg Config) *Browser {
+	if cfg.Network == nil {
+		panic("browser: Config.Network is required")
+	}
+	if cfg.MaxRedirects <= 0 {
+		cfg.MaxRedirects = 20
+	}
+	if cfg.ViewportWidth <= 0 {
+		cfg.ViewportWidth = 1280
+	}
+	if cfg.UserAgent == "" {
+		cfg.UserAgent = DefaultChromeUA
+	}
+	return &Browser{
+		cfg:    cfg,
+		store:  storage.New(cfg.Policy),
+		client: cfg.Network.Client(),
+		clock:  cfg.Network.Clock(),
+		psl:    publicsuffix.Default(),
+	}
+}
+
+// Store exposes the profile's storage (tests and countermeasures).
+func (b *Browser) Store() *storage.Store { return b.store }
+
+// ProfileID returns the simulated user identity.
+func (b *Browser) ProfileID() string { return b.cfg.ProfileID }
+
+// ClientID returns the crawler instance identity.
+func (b *Browser) ClientID() string { return b.cfg.ClientID }
+
+// Requests returns a copy of the request log.
+func (b *Browser) Requests() []RequestRecord {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]RequestRecord, len(b.requests))
+	copy(out, b.requests)
+	return out
+}
+
+// ResetRequests clears the request log (called at crawl-step boundaries).
+func (b *Browser) ResetRequests() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.requests = nil
+}
+
+func (b *Browser) record(r RequestRecord) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.requests = append(b.requests, r)
+}
+
+// NavError reports a failed navigation, wrapping the transport error and
+// retaining the chain walked so far.
+type NavError struct {
+	URL   string
+	Chain []Hop
+	Err   error
+}
+
+func (e *NavError) Error() string { return fmt.Sprintf("browser: navigate %s: %v", e.URL, e.Err) }
+
+// Unwrap supports errors.Is/As against the transport error.
+func (e *NavError) Unwrap() error { return e.Err }
+
+// Navigate performs a top-level navigation to rawURL, following the
+// redirect chain hop by hop. Every hop is recorded as a navigation
+// request; each hop's host acts as a first party (the redirector
+// privilege at the heart of UID smuggling): its cookies are attached, and
+// its Set-Cookie responses are stored first-party. On success the final
+// page is parsed, laid out, its declarative scripts run, its iframes
+// loaded and its beacons fired.
+func (b *Browser) Navigate(rawURL, referer string) (*Page, error) {
+	cur, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, &NavError{URL: rawURL, Err: err}
+	}
+	var chain []Hop
+	for hop := 0; hop <= b.cfg.MaxRedirects; hop++ {
+		resp, err := b.fetch(cur, referer, KindNavigation)
+		if err != nil {
+			chain = append(chain, Hop{URL: cur.String()})
+			return nil, &NavError{URL: cur.String(), Chain: chain, Err: err}
+		}
+		h := Hop{URL: cur.String(), Status: resp.StatusCode, Location: resp.Header.Get("Location")}
+		chain = append(chain, h)
+		if isRedirect(resp.StatusCode) && h.Location != "" {
+			netsim.ReadBody(resp) // drain
+			next, err := cur.Parse(h.Location)
+			if err != nil {
+				return nil, &NavError{URL: cur.String(), Chain: chain, Err: err}
+			}
+			cur = next
+			continue
+		}
+		body, err := netsim.ReadBody(resp)
+		if err != nil {
+			return nil, &NavError{URL: cur.String(), Chain: chain, Err: err}
+		}
+		page := &Page{
+			URL:   cur,
+			Doc:   dom.Parse(body),
+			Chain: chain,
+		}
+		dom.Layout(page.Doc, b.cfg.ViewportWidth)
+		b.runScripts(page)
+		b.loadFrames(page)
+		return page, nil
+	}
+	return nil, &NavError{URL: cur.String(), Chain: chain, Err: fmt.Errorf("too many redirects (%d)", b.cfg.MaxRedirects)}
+}
+
+// fetch issues one request with the browser's identity headers and the
+// cookies visible to (target-as-frame, top). For top-level navigations the
+// target is its own top. Set-Cookie headers on the response are stored
+// under the same context.
+func (b *Browser) fetch(u *url.URL, referer string, kind RequestKind) (*http.Response, error) {
+	return b.fetchCtx(u, referer, kind, storage.Context{FrameHost: u.Hostname(), TopHost: u.Hostname()})
+}
+
+// fetchCtx is fetch with an explicit storage context (used for iframe and
+// beacon subrequests, whose cookie access is third-party).
+func (b *Browser) fetchCtx(u *url.URL, referer string, kind RequestKind, ctx storage.Context) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("User-Agent", b.cfg.UserAgent)
+	req.Header.Set(HeaderProfile, b.cfg.ProfileID)
+	req.Header.Set(HeaderClient, b.cfg.ClientID)
+	req.Header.Set(HeaderMachine, b.cfg.Machine)
+	if referer != "" {
+		req.Header.Set("Referer", referer)
+	}
+	now := b.clock.Now()
+	for _, c := range b.store.Cookies(ctx, now) {
+		req.AddCookie(&http.Cookie{Name: c.Name, Value: c.Value})
+	}
+
+	resp, err := b.client.Do(req)
+	rec := RequestRecord{URL: u.String(), Kind: kind, Referer: referer, Time: now}
+	if err != nil {
+		rec.Err = err.Error()
+		b.record(rec)
+		return nil, err
+	}
+	rec.Status = resp.StatusCode
+	b.record(rec)
+	b.storeSetCookies(resp, ctx)
+	return resp, nil
+}
+
+// storeSetCookies applies a response's Set-Cookie headers to the store
+// under ctx, converting Max-Age/Expires into absolute virtual-clock
+// expiry.
+func (b *Browser) storeSetCookies(resp *http.Response, ctx storage.Context) {
+	now := b.clock.Now()
+	for _, c := range resp.Cookies() {
+		sc := storage.Cookie{Name: c.Name, Value: c.Value, Created: now}
+		switch {
+		case c.MaxAge > 0:
+			sc.Expires = now.Add(time.Duration(c.MaxAge) * time.Second)
+		case c.MaxAge < 0:
+			continue // immediate deletion request: skip storing
+		case !c.Expires.IsZero():
+			sc.Expires = c.Expires
+		}
+		b.store.SetCookie(ctx, sc)
+	}
+}
+
+func isRedirect(status int) bool {
+	switch status {
+	case http.StatusMovedPermanently, http.StatusFound, http.StatusSeeOther,
+		http.StatusTemporaryRedirect, http.StatusPermanentRedirect:
+		return true
+	}
+	return false
+}
+
+// regDomain is a convenience wrapper.
+func (b *Browser) regDomain(host string) string {
+	if rd := b.psl.RegisteredDomain(host); rd != "" {
+		return rd
+	}
+	return host
+}
+
+// sameSite reports whether two URLs share a registered domain.
+func (b *Browser) sameSite(a, c *url.URL) bool {
+	return b.psl.SameSite(a.Hostname(), c.Hostname())
+}
+
+// resolveHref resolves an element's href against the page URL, returning
+// nil for unparsable or non-HTTP targets.
+func resolveHref(page *url.URL, href string) *url.URL {
+	if strings.TrimSpace(href) == "" {
+		return nil
+	}
+	u, err := page.Parse(href)
+	if err != nil {
+		return nil
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil
+	}
+	return u
+}

@@ -1,0 +1,265 @@
+package browser
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+
+	"crumbcruncher/internal/dom"
+	"crumbcruncher/internal/netsim"
+	"crumbcruncher/internal/storage"
+)
+
+// Page is a loaded top-level document plus the iframes it embeds and the
+// navigation chain that produced it.
+type Page struct {
+	URL   *url.URL
+	Doc   *dom.Node
+	Chain []Hop
+
+	// Frames maps iframe elements (by identity) to their loaded
+	// subdocuments.
+	Frames map[*dom.Node]*Frame
+
+	// decorators are the click-time link decorators registered by this
+	// page's scripts.
+	decorators []linkDecorator
+	// refererDecorators decorate the Referer header of outgoing
+	// navigations rather than their URLs (the §6 limitation).
+	refererDecorators []linkDecorator
+}
+
+// Frame is a loaded iframe document.
+type Frame struct {
+	SrcURL string
+	Doc    *dom.Node
+	Err    string
+}
+
+// FinalHost returns the host of the page URL.
+func (p *Page) FinalHost() string { return p.URL.Hostname() }
+
+// Clickable describes one element the crawler may click — an anchor or an
+// iframe — together with the identification signals the central controller
+// compares (§3.3): href (anchors), attribute names, bounding box and
+// x-path.
+type Clickable struct {
+	// Index is the element's position in the page's clickable list; the
+	// controller's chosen index is clicked on every crawler.
+	Index int
+	// Kind is "a" or "iframe".
+	Kind string
+	// Href is the anchor target (empty for iframes, whose destination is
+	// opaque until clicked — the paper's motivating difficulty).
+	Href string
+	// AttrNames are the element's attribute names in document order.
+	AttrNames []string
+	// Box is the layout bounding box.
+	Box dom.Rect
+	// XPath is the positional x-path.
+	XPath string
+
+	node *dom.Node
+}
+
+// Clickables enumerates the page's candidate elements in document order.
+func (b *Browser) Clickables(p *Page) []Clickable {
+	var out []Clickable
+	add := func(kind string, n *dom.Node) {
+		c := Clickable{
+			Index:     len(out),
+			Kind:      kind,
+			AttrNames: n.AttrNames(),
+			Box:       n.Box,
+			XPath:     n.XPath(),
+			node:      n,
+		}
+		if kind == "a" {
+			c.Href = n.AttrOr("href", "")
+		}
+		out = append(out, c)
+	}
+	for _, n := range p.Doc.FindAll(func(e *dom.Node) bool { return e.Tag == "a" || e.Tag == "iframe" }) {
+		if n.Tag == "a" {
+			if resolveHref(p.URL, n.AttrOr("href", "")) == nil {
+				continue
+			}
+			add("a", n)
+		} else {
+			add("iframe", n)
+		}
+	}
+	return out
+}
+
+// CrossDomain reports whether the clickable is known to navigate off the
+// current registered domain. Iframes report false: their destination is
+// unknown before the click, but the crawler still prefers them (ads live
+// in iframes).
+func (b *Browser) CrossDomain(p *Page, c Clickable) bool {
+	if c.Kind != "a" {
+		return false
+	}
+	u := resolveHref(p.URL, c.Href)
+	if u == nil {
+		return false
+	}
+	return !b.sameSite(p.URL, u)
+}
+
+// ErrNoTarget is returned by Click when the element cannot trigger a
+// navigation (e.g. an iframe whose ad failed to load).
+type ErrNoTarget struct{ Reason string }
+
+func (e *ErrNoTarget) Error() string { return "browser: click has no target: " + e.Reason }
+
+// ClickURL computes the URL a click on clickable index would navigate to,
+// applying link decoration for anchors, without performing the
+// navigation. Iframe clicks resolve to the frame document's first anchor —
+// the ad's click-through link.
+func (b *Browser) ClickURL(p *Page, index int) (*url.URL, error) {
+	cs := b.Clickables(p)
+	if index < 0 || index >= len(cs) {
+		return nil, &ErrNoTarget{Reason: fmt.Sprintf("index %d out of range (%d clickables)", index, len(cs))}
+	}
+	c := cs[index]
+	if c.Kind == "a" {
+		target := resolveHref(p.URL, c.node.AttrOr("href", ""))
+		if target == nil {
+			return nil, &ErrNoTarget{Reason: "unresolvable href"}
+		}
+		return b.decorate(p, c.node, target), nil
+	}
+	frame := p.Frames[c.node]
+	if frame == nil || frame.Doc == nil {
+		return nil, &ErrNoTarget{Reason: "iframe not loaded"}
+	}
+	anchors := frame.Doc.ElementsByTag("a")
+	if len(anchors) == 0 {
+		return nil, &ErrNoTarget{Reason: "iframe has no link"}
+	}
+	frameURL, err := url.Parse(frame.SrcURL)
+	if err != nil {
+		return nil, &ErrNoTarget{Reason: "bad frame URL"}
+	}
+	target := resolveHref(frameURL, anchors[0].AttrOr("href", ""))
+	if target == nil {
+		return nil, &ErrNoTarget{Reason: "unresolvable ad href"}
+	}
+	// Ad click URLs are fully formed by the ad server; page decorators do
+	// not touch content inside cross-origin frames.
+	return target, nil
+}
+
+// Click clicks the element and performs the resulting navigation,
+// returning the destination page.
+func (b *Browser) Click(p *Page, index int) (*Page, error) {
+	target, err := b.ClickURL(p, index)
+	if err != nil {
+		return nil, err
+	}
+	return b.Navigate(target.String(), b.outgoingReferer(p))
+}
+
+// outgoingReferer computes the Referer for navigations leaving p,
+// applying any referrer decorators.
+func (b *Browser) outgoingReferer(p *Page) string {
+	ref := *p.URL
+	q := ref.Query()
+	changed := false
+	for _, d := range p.refererDecorators {
+		q.Set(d.param, d.value)
+		changed = true
+	}
+	if changed {
+		ref.RawQuery = encodeQueryStable(q)
+	}
+	return ref.String()
+}
+
+// decorate applies the page's registered link decorators to a navigation
+// target, returning a decorated copy (the original URL is not modified).
+func (b *Browser) decorate(p *Page, anchor *dom.Node, target *url.URL) *url.URL {
+	if len(p.decorators) == 0 {
+		return target
+	}
+	class := anchor.AttrOr("class", "")
+	out := *target
+	q := out.Query()
+	changed := false
+	for _, d := range p.decorators {
+		if d.scope == scopeCrossDomain && b.sameSite(p.URL, target) {
+			continue
+		}
+		if d.matchClass != "" && !hasClass(class, d.matchClass) {
+			continue
+		}
+		q.Set(d.param, d.value)
+		changed = true
+	}
+	if changed {
+		out.RawQuery = encodeQueryStable(q)
+	}
+	return &out
+}
+
+// hasClass reports whether the space-separated class list contains token.
+func hasClass(classAttr, token string) bool {
+	for _, c := range strings.Fields(classAttr) {
+		if c == token {
+			return true
+		}
+	}
+	return false
+}
+
+// encodeQueryStable encodes query values with sorted keys so decorated
+// URLs are byte-stable.
+func encodeQueryStable(q url.Values) string {
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		for _, v := range q[k] {
+			if b.Len() > 0 {
+				b.WriteByte('&')
+			}
+			b.WriteString(url.QueryEscape(k))
+			b.WriteByte('=')
+			b.WriteString(url.QueryEscape(v))
+		}
+	}
+	return b.String()
+}
+
+// loadFrames fetches every iframe's document. Iframe loads are sub_frame
+// requests: the Referer is the embedding page, and cookie access is
+// third-party (partitioned or blocked per policy) unless the frame is
+// same-site.
+func (b *Browser) loadFrames(p *Page) {
+	p.Frames = make(map[*dom.Node]*Frame)
+	for _, n := range p.Doc.ElementsByTag("iframe") {
+		src := n.AttrOr("src", "")
+		u := resolveHref(p.URL, src)
+		if u == nil {
+			p.Frames[n] = &Frame{SrcURL: src, Err: "bad src"}
+			continue
+		}
+		ctx := storage.Context{FrameHost: u.Hostname(), TopHost: p.URL.Hostname()}
+		resp, err := b.fetchCtx(u, p.URL.String(), KindSubframe, ctx)
+		if err != nil {
+			p.Frames[n] = &Frame{SrcURL: u.String(), Err: err.Error()}
+			continue
+		}
+		body, err := netsim.ReadBody(resp)
+		if err != nil {
+			p.Frames[n] = &Frame{SrcURL: u.String(), Err: err.Error()}
+			continue
+		}
+		p.Frames[n] = &Frame{SrcURL: u.String(), Doc: dom.Parse(body)}
+	}
+}

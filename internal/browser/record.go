@@ -1,0 +1,35 @@
+package browser
+
+import "time"
+
+// RequestKind classifies a recorded web request, mirroring the resource
+// types Chrome's webRequest API reports.
+type RequestKind string
+
+const (
+	// KindNavigation is a top-level navigation request (including every
+	// hop of a redirect chain).
+	KindNavigation RequestKind = "navigation"
+	// KindSubframe is an iframe document load.
+	KindSubframe RequestKind = "sub_frame"
+	// KindBeacon is a tracker-initiated subresource request.
+	KindBeacon RequestKind = "beacon"
+)
+
+// RequestRecord is one observed web request — what the paper's custom
+// Chrome extension records via chrome.webRequest.onBeforeRequest (§3.8).
+type RequestRecord struct {
+	URL     string
+	Kind    RequestKind
+	Referer string
+	Status  int    // 0 when the request failed
+	Err     string // network error, if any
+	Time    time.Time
+}
+
+// Hop is one step of a navigation redirect chain.
+type Hop struct {
+	URL      string
+	Status   int
+	Location string // Location header for 3xx responses
+}

@@ -1,0 +1,228 @@
+// Package core wires the full CrumbCruncher pipeline end to end: build
+// the synthetic web, run the four-crawler measurement crawl, extract and
+// identify UIDs, and expose the analysis that reproduces every table and
+// figure in the paper. The public crumbcruncher package is a facade over
+// this package.
+package core
+
+import (
+	"fmt"
+	"net/url"
+
+	"crumbcruncher/internal/analysis"
+	"crumbcruncher/internal/category"
+	"crumbcruncher/internal/crawler"
+	"crumbcruncher/internal/entity"
+	"crumbcruncher/internal/filterlist"
+	"crumbcruncher/internal/publicsuffix"
+	"crumbcruncher/internal/tokens"
+	"crumbcruncher/internal/uid"
+	"crumbcruncher/internal/web"
+)
+
+// Config configures a full pipeline run.
+type Config struct {
+	// World configures the synthetic web.
+	World web.Config
+	// Walks is the number of random walks (0: one per seeder).
+	Walks int
+	// StepsPerWalk is the walk length (0: the paper's 10).
+	StepsPerWalk int
+	// Parallelism is the number of concurrent walks (0: 12, the paper's
+	// EC2 instance count).
+	Parallelism int
+	// IframeBias is the controller's iframe preference (0: default).
+	IframeBias float64
+	// Identify configures UID identification (zero value: the paper's
+	// full method).
+	Identify uid.Options
+}
+
+// DefaultConfig returns the paper-scale configuration: the default world
+// with one walk per seeder domain.
+func DefaultConfig() Config {
+	w := web.DefaultConfig()
+	return Config{World: w, Walks: 2000, Parallelism: 12}
+}
+
+// SmallConfig returns a fast configuration for tests and examples.
+func SmallConfig() Config {
+	return Config{World: web.SmallConfig(), Walks: 30, Parallelism: 4}
+}
+
+// Run is a completed pipeline run.
+type Run struct {
+	Config     Config
+	World      *web.World
+	Dataset    *crawler.Dataset
+	Paths      []*tokens.Path
+	Candidates []*tokens.Candidate
+	Cases      []*uid.Case
+	Stats      uid.Stats
+	Analysis   *analysis.Analysis
+	Lifetimes  *uid.LifetimeIndex
+}
+
+// Execute runs the full pipeline.
+func Execute(cfg Config) (*Run, error) {
+	world := web.BuildWorld(cfg.World)
+	ds, err := crawler.Crawl(crawler.Config{
+		Seed:         cfg.World.Seed,
+		Network:      world.Network(),
+		Seeders:      world.Seeders(),
+		Walks:        cfg.Walks,
+		StepsPerWalk: cfg.StepsPerWalk,
+		Parallelism:  cfg.Parallelism,
+		IframeBias:   cfg.IframeBias,
+		Machines:     12, // the paper's EC2 instance count
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: crawl: %w", err)
+	}
+	return Analyze(cfg, world, ds)
+}
+
+// Analyze runs the post-crawl pipeline over an existing dataset (used by
+// cmd/crumbreport to re-analyse saved crawls and by ablations to re-run
+// identification with different options).
+func Analyze(cfg Config, world *web.World, ds *crawler.Dataset) (*Run, error) {
+	paths := tokens.PathsFromDataset(ds)
+	cands := tokens.AllCandidates(paths)
+	lifetimes := uid.BuildLifetimeIndex(ds)
+	opt := cfg.Identify
+	if opt.LifetimeOf == nil {
+		opt.LifetimeOf = lifetimes.Lifetime
+	}
+	cases, stats := uid.Identify(cands, opt)
+	return &Run{
+		Config:     cfg,
+		World:      world,
+		Dataset:    ds,
+		Paths:      paths,
+		Candidates: cands,
+		Cases:      cases,
+		Stats:      stats,
+		Analysis:   analysis.New(ds, paths, cases),
+		Lifetimes:  lifetimes,
+	}, nil
+}
+
+// Reidentify re-runs UID identification with different options over the
+// run's candidates (ablation benchmarks) and returns a fresh analysis.
+func (r *Run) Reidentify(opt uid.Options) ([]*uid.Case, uid.Stats, *analysis.Analysis) {
+	if opt.LifetimeOf == nil {
+		opt.LifetimeOf = r.Lifetimes.Lifetime
+	}
+	cases, stats := uid.Identify(r.Candidates, opt)
+	return cases, stats, analysis.New(r.Dataset, r.Paths, cases)
+}
+
+// Attributor builds the paper's two-stage organisation attribution: the
+// (partial) Disconnect-style entity list, backed by the manual research
+// map (complete in the synthetic world).
+func (r *Run) Attributor() *entity.Attributor {
+	return entity.NewAttributor(
+		entity.NewList(r.World.EntityListDomains()),
+		entity.NewList(r.World.Organizations()),
+	)
+}
+
+// Taxonomy builds the Webshrinker-style category lookup.
+func (r *Run) Taxonomy() *category.Taxonomy {
+	return category.New(r.World.Categories())
+}
+
+// DisconnectDomains builds the Disconnect-style tracker list.
+func (r *Run) DisconnectDomains() *filterlist.DomainList {
+	return filterlist.NewDomainList(r.World.DisconnectList())
+}
+
+// EasyList builds the EasyList-style filter list.
+func (r *Run) EasyList() *filterlist.List {
+	return filterlist.Parse(r.World.EasyListRules())
+}
+
+// TruthEval scores the pipeline against the generator's ground truth.
+type TruthEval struct {
+	// Cases is the number of confirmed UID cases.
+	Cases int
+	// TruePositive cases have parameter names the world registered as
+	// UID-carrying.
+	TruePositive int
+	// FalsePositive cases carry any other parameter.
+	FalsePositive int
+}
+
+// Precision returns TP / (TP + FP).
+func (e TruthEval) Precision() float64 {
+	if e.Cases == 0 {
+		return 0
+	}
+	return float64(e.TruePositive) / float64(e.Cases)
+}
+
+// EvaluateTruth compares confirmed cases against ground truth. Only
+// evaluation code may consult the world's Truth registry; the pipeline
+// itself never does.
+func (r *Run) EvaluateTruth() TruthEval {
+	var e TruthEval
+	truth := r.World.Truth()
+	for _, c := range r.Cases {
+		e.Cases++
+		if truth.IsUIDParam(c.Group.Name) {
+			e.TruePositive++
+		} else {
+			e.FalsePositive++
+		}
+	}
+	return e
+}
+
+// MissedRefererTransfers counts UID transfers that rode the Referer
+// header across a first-party boundary instead of the navigation URL —
+// the §6 limitation: CrumbCruncher "only look[s] for UIDs that are
+// transferred in the query parameters of URLs", so these are invisible to
+// the pipeline. Ground truth identifies the UID parameters; this is
+// evaluation-only code.
+func (r *Run) MissedRefererTransfers() int {
+	truth := r.World.Truth()
+	seen := map[string]bool{}
+	count := 0
+	for _, w := range r.Dataset.Walks {
+		for _, s := range w.Steps {
+			for name, rec := range s.Records {
+				for _, req := range rec.Requests {
+					if req.Kind != "navigation" || req.Referer == "" {
+						continue
+					}
+					ref, err := url.Parse(req.Referer)
+					if err != nil {
+						continue
+					}
+					target, err := url.Parse(req.URL)
+					if err != nil {
+						continue
+					}
+					if publicsuffix.SameSite(ref.Hostname(), target.Hostname()) {
+						continue
+					}
+					targetQ := target.Query()
+					for param, vs := range ref.Query() {
+						if !truth.IsUIDParam(param) {
+							continue
+						}
+						if targetQ.Get(param) != "" {
+							continue // also in the URL: the pipeline sees it
+						}
+						key := fmt.Sprintf("%d/%d/%s/%s/%s", w.Index, s.Index, name, param, vs[0])
+						if !seen[key] {
+							seen[key] = true
+							count++
+						}
+					}
+				}
+			}
+		}
+	}
+	return count
+}

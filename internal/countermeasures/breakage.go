@@ -1,0 +1,134 @@
+package countermeasures
+
+import (
+	"net/url"
+
+	"crumbcruncher/internal/browser"
+	"crumbcruncher/internal/dom"
+)
+
+// BreakageClass is the outcome of reloading a page with its UID parameter
+// stripped (the paper's §6 experiment over ten login pages: seven showed
+// no change, one a minor visual shift, two significant breakage).
+type BreakageClass string
+
+// The observed breakage classes.
+const (
+	// BreakNone: the page is unchanged.
+	BreakNone BreakageClass = "no change"
+	// BreakMinor: a minor visual change (the paper saw a <body> shifted
+	// down by 20 pixels).
+	BreakMinor BreakageClass = "minor visual change"
+	// BreakMissingField: a form field lost its autofilled value.
+	BreakMissingField BreakageClass = "missing autofill"
+	// BreakRedirect: the user lands somewhere else entirely (the paper
+	// saw a homepage instead of the requested subpage).
+	BreakRedirect BreakageClass = "redirected elsewhere"
+	// BreakError: the stripped navigation failed outright.
+	BreakError BreakageClass = "navigation error"
+)
+
+// BreakageResult is the evaluation of one page.
+type BreakageResult struct {
+	URL      string
+	Stripped string
+	Class    BreakageClass
+}
+
+// EvaluateBreakage loads pageURL with its parameters intact, then again
+// with remove-matching parameters stripped, and classifies the
+// difference. The two loads use the same browser profile, as in the
+// paper's manual procedure ("we manually removed the query parameter...,
+// reloaded the page, and evaluated whether the page changed or broke").
+func EvaluateBreakage(b *browser.Browser, pageURL string, remove func(name, value string) bool) BreakageResult {
+	stripped := StripParams(pageURL, remove)
+	res := BreakageResult{URL: pageURL, Stripped: stripped}
+	if stripped == pageURL {
+		res.Class = BreakNone
+		return res
+	}
+	withTok, err1 := b.Navigate(pageURL, "")
+	without, err2 := b.Navigate(stripped, "")
+	if err1 != nil || err2 != nil {
+		res.Class = BreakError
+		return res
+	}
+	res.Class = classifyDiff(withTok, without)
+	return res
+}
+
+// classifyDiff compares the two loaded pages.
+func classifyDiff(with, without *browser.Page) BreakageClass {
+	// Landing somewhere else (path change) is the severest breakage.
+	if !samePage(with.URL, without.URL) {
+		return BreakRedirect
+	}
+	// Form fields that lost their values.
+	if missingInputValue(with.Doc, without.Doc) {
+		return BreakMissingField
+	}
+	// Layout shift: an element present in both renders at a different
+	// vertical position (the paper's body-moved-20px case).
+	if layoutShifted(with.Doc, without.Doc) {
+		return BreakMinor
+	}
+	return BreakNone
+}
+
+func samePage(a, b *url.URL) bool {
+	return a.Hostname() == b.Hostname() && a.Path == b.Path
+}
+
+// missingInputValue reports whether an input that had a value with the
+// token lost it without.
+func missingInputValue(with, without *dom.Node) bool {
+	values := map[string]string{}
+	for _, in := range with.ElementsByTag("input") {
+		if v, ok := in.Attr("value"); ok && v != "" {
+			values[in.AttrOr("name", in.XPath())] = v
+		}
+	}
+	if len(values) == 0 {
+		return false
+	}
+	for _, in := range without.ElementsByTag("input") {
+		delete(values, in.AttrOr("name", in.XPath()))
+	}
+	return len(values) > 0
+}
+
+// layoutShifted reports whether any element present in both documents (by
+// x-path and tag) moved vertically.
+func layoutShifted(with, without *dom.Node) bool {
+	boxes := map[string]int{}
+	with.FindAll(func(e *dom.Node) bool {
+		boxes[e.Tag+e.XPath()] = e.Box.Y
+		return false
+	})
+	shifted := false
+	without.FindAll(func(e *dom.Node) bool {
+		if y, ok := boxes[e.Tag+e.XPath()]; ok && y != e.Box.Y {
+			shifted = true
+		}
+		return false
+	})
+	return shifted
+}
+
+// BreakageSummary tallies classes over a sample of pages.
+type BreakageSummary struct {
+	Results []BreakageResult
+	Counts  map[BreakageClass]int
+}
+
+// EvaluateBreakageSample runs the experiment over a set of page URLs,
+// each with a fresh browser from newBrowser.
+func EvaluateBreakageSample(newBrowser func() *browser.Browser, pageURLs []string, remove func(name, value string) bool) BreakageSummary {
+	out := BreakageSummary{Counts: map[BreakageClass]int{}}
+	for _, u := range pageURLs {
+		r := EvaluateBreakage(newBrowser(), u, remove)
+		out.Results = append(out.Results, r)
+		out.Counts[r.Class]++
+	}
+	return out
+}

@@ -1,0 +1,518 @@
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"crumbcruncher/internal/browser"
+	"crumbcruncher/internal/netsim"
+	"crumbcruncher/internal/storage"
+)
+
+// Config configures a crawl.
+type Config struct {
+	// Seed drives the controller's choices and must match the world's
+	// seed so client-side scripts derive the same identifiers as the
+	// servers.
+	Seed int64
+	// Network is the (synthetic) web to crawl.
+	Network *netsim.Network
+	// Seeders are the walk starting domains, most popular first (the
+	// Tranco list of §3.1).
+	Seeders []string
+	// Walks is the number of random walks; walk i starts at
+	// Seeders[i mod len].
+	Walks int
+	// StepsPerWalk is the walk length (paper: 10).
+	StepsPerWalk int
+	// Parallelism is the number of walks crawled concurrently (the
+	// paper's twelve EC2 instances). Results are deterministic
+	// regardless.
+	Parallelism int
+	// DwellSeconds is the virtual time spent on each landing page
+	// (paper: 10 seconds of request recording).
+	DwellSeconds int
+	// IframeBias is the controller's preference for iframes over
+	// cross-domain anchors.
+	IframeBias float64
+	// Heuristics selects the element-matching heuristics (ablations).
+	Heuristics Heuristics
+	// DirectController bypasses the HTTP transport and calls the
+	// controller in-process (used by ablation benchmarks; the default
+	// crawl uses a real loopback HTTP server, like the paper).
+	DirectController bool
+	// Machine is the fingerprint surface shared by all four crawlers
+	// (they run "on one machine", §3.5).
+	Machine string
+	// Machines, when > 1, spreads walks across that many crawl machines
+	// (the paper's twelve EC2 instances, §3.8). All four crawlers of a
+	// walk share one machine — the §3.5 condition — but fingerprint
+	// surfaces differ across instances.
+	Machines int
+}
+
+// withDefaults fills zero values.
+func (cfg Config) withDefaults() Config {
+	if cfg.StepsPerWalk <= 0 {
+		cfg.StepsPerWalk = 10
+	}
+	if cfg.Walks <= 0 {
+		cfg.Walks = len(cfg.Seeders)
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	if cfg.DwellSeconds <= 0 {
+		cfg.DwellSeconds = 10
+	}
+	if cfg.IframeBias == 0 {
+		cfg.IframeBias = 0.3
+	}
+	if cfg.Heuristics == (Heuristics{}) {
+		cfg.Heuristics = AllHeuristics
+	}
+	if cfg.Machine == "" {
+		cfg.Machine = "crawl-machine-1"
+	}
+	return cfg
+}
+
+// Crawl runs the full measurement crawl and returns the dataset.
+func Crawl(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Network == nil {
+		return nil, errors.New("crawler: Config.Network is required")
+	}
+	if len(cfg.Seeders) == 0 {
+		return nil, errors.New("crawler: Config.Seeders is empty")
+	}
+
+	ctrl := NewController(cfg.Seed, cfg.Heuristics, cfg.IframeBias)
+	var api API = ctrl
+	if !cfg.DirectController {
+		base, shutdown, err := ctrl.Serve()
+		if err != nil {
+			return nil, err
+		}
+		defer shutdown()
+		api = NewHTTPClient(base)
+	}
+
+	ds := &Dataset{Seed: cfg.Seed, Crawlers: AllCrawlers, Walks: make([]*Walk, cfg.Walks)}
+	sem := make(chan struct{}, cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Walks; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(idx int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			seeder := cfg.Seeders[idx%len(cfg.Seeders)]
+			wcfg := cfg
+			if cfg.Machines > 1 {
+				wcfg.Machine = fmt.Sprintf("%s-inst%d", cfg.Machine, idx%cfg.Machines)
+			}
+			ds.Walks[idx] = runWalk(wcfg, api, idx, seeder)
+		}(i)
+	}
+	wg.Wait()
+	return ds, nil
+}
+
+// uaFor returns the spoofed User-Agent for a crawler (§3.4).
+func uaFor(name string) string {
+	if name == Chrome3 {
+		return browser.DefaultChromeUA
+	}
+	return browser.DefaultSafariUA
+}
+
+// policyFor returns the storage policy: the Safari crawlers simulate
+// partitioned storage; Chrome-3 runs with third-party cookies disabled
+// (§3.4, §3.5).
+func policyFor(name string) storage.Policy {
+	if name == Chrome3 {
+		return storage.Blocked
+	}
+	return storage.Partitioned
+}
+
+// walkState is the shared per-walk collector.
+type walkState struct {
+	mu   sync.Mutex
+	walk *Walk
+}
+
+func (ws *walkState) putSeed(name string, rec *CrawlerStep) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	ws.walk.SeedLoad[name] = rec
+}
+
+func (ws *walkState) putStep(stepIdx int, name string, rec *CrawlerStep) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for len(ws.walk.Steps) < stepIdx {
+		ws.walk.Steps = append(ws.walk.Steps, &Step{
+			Walk:    ws.walk.Index,
+			Index:   len(ws.walk.Steps) + 1,
+			Records: make(map[string]*CrawlerStep),
+		})
+	}
+	ws.walk.Steps[stepIdx-1].Records[name] = rec
+}
+
+// runWalk executes one walk: three synchronized crawler goroutines, with
+// Safari-1R trailing Safari-1 inside its goroutine.
+func runWalk(cfg Config, api API, idx int, seeder string) *Walk {
+	w := &Walk{Index: idx, Seeder: seeder, SeedLoad: make(map[string]*CrawlerStep)}
+	ws := &walkState{walk: w}
+
+	newBrowser := func(name string) *browser.Browser {
+		return browser.New(browser.Config{
+			Seed:      cfg.Seed,
+			ProfileID: fmt.Sprintf("w%d-%s", idx, ProfileOf(name)),
+			ClientID:  fmt.Sprintf("w%d-%s", idx, name),
+			Machine:   cfg.Machine,
+			UserAgent: uaFor(name),
+			Policy:    policyFor(name),
+			Network:   cfg.Network,
+		})
+	}
+
+	var wg sync.WaitGroup
+	for _, name := range ParallelCrawlers {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			r := &walkRunner{
+				cfg:  cfg,
+				api:  api,
+				ws:   ws,
+				walk: idx,
+				name: name,
+				b:    newBrowser(name),
+			}
+			if name == Safari1 {
+				r.trailer = &trailRunner{
+					cfg:  cfg,
+					ws:   ws,
+					walk: idx,
+					b:    newBrowser(Safari1R),
+				}
+			}
+			r.run(seeder)
+		}(name)
+	}
+	wg.Wait()
+
+	// Derive step outcomes and the walk's end reason.
+	for _, s := range w.Steps {
+		s.Outcome = deriveOutcome(s)
+	}
+	if n := len(w.Steps); n > 0 {
+		if last := w.Steps[n-1]; last.Outcome != OutcomeOK {
+			w.Ended = last.Outcome
+		}
+	}
+	return w
+}
+
+// deriveOutcome classifies a merged step from the parallel crawlers'
+// records.
+func deriveOutcome(s *Step) StepOutcome {
+	connect, clickFail, noMatch, landed := 0, 0, 0, 0
+	hosts := map[string]bool{}
+	for _, name := range ParallelCrawlers {
+		rec := s.Records[name]
+		if rec == nil {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(rec.Fail, "connect:"):
+			connect++
+		case rec.Fail == "no common element":
+			noMatch++
+		case rec.Fail != "":
+			clickFail++
+		default:
+			landed++
+			if u, err := url.Parse(rec.LandedURL); err == nil {
+				hosts[u.Hostname()] = true
+			}
+		}
+	}
+	switch {
+	case connect > 0:
+		return OutcomeConnectError
+	case noMatch > 0:
+		return OutcomeNoCommonElement
+	case clickFail > 0:
+		return OutcomeClickFailed
+	case landed == len(ParallelCrawlers) && len(hosts) == 1:
+		return OutcomeOK
+	default:
+		return OutcomeDivergent
+	}
+}
+
+// walkRunner is one parallel crawler's walk execution.
+type walkRunner struct {
+	cfg     Config
+	api     API
+	ws      *walkState
+	walk    int
+	name    string
+	b       *browser.Browser
+	trailer *trailRunner
+}
+
+// snapshot records the first-party storage of a page.
+func (r *walkRunner) snapshot(b *browser.Browser, pageURL string) Snapshot {
+	return takeSnapshot(b, pageURL)
+}
+
+func takeSnapshot(b *browser.Browser, pageURL string) Snapshot {
+	u, err := url.Parse(pageURL)
+	if err != nil {
+		return Snapshot{URL: pageURL}
+	}
+	host := u.Hostname()
+	snap := Snapshot{URL: pageURL, Local: b.Store().FirstPartyLocal(host)}
+	// Snapshot at the virtual epoch so no cookie is hidden by expiry; the
+	// records carry real creation/expiry times for lifetime analysis.
+	for _, c := range b.Store().FirstPartyCookies(host, netsim.Epoch) {
+		snap.Cookies = append(snap.Cookies, CookieRecord{
+			Name: c.Name, Value: c.Value, Domain: c.Domain,
+			Created: c.Created, Expires: c.Expires,
+		})
+	}
+	return snap
+}
+
+// run executes the walk for this crawler.
+func (r *walkRunner) run(seeder string) {
+	seedURL := "http://" + seeder + "/"
+	page, err := r.b.Navigate(seedURL, "")
+	seedRec := &CrawlerStep{
+		Crawler:  r.name,
+		Profile:  ProfileOf(r.name),
+		StartURL: seedURL,
+		Requests: r.b.Requests(),
+	}
+	if err != nil {
+		seedRec.Fail = "connect: " + err.Error()
+	} else {
+		seedRec.LandedURL = page.URL.String()
+		seedRec.After = r.snapshot(r.b, page.URL.String())
+	}
+	r.ws.putSeed(r.name, seedRec)
+	if r.trailer != nil {
+		r.trailer.repeatSeed(seedURL)
+	}
+
+	for step := 1; step <= r.cfg.StepsPerWalk; step++ {
+		rec := &CrawlerStep{
+			Crawler:    r.name,
+			Profile:    ProfileOf(r.name),
+			ClickIndex: -1,
+		}
+		var els []Element
+		var clickables []browser.Clickable
+		if page != nil {
+			rec.StartURL = page.URL.String()
+			rec.Before = r.snapshot(r.b, page.URL.String())
+			clickables = r.b.Clickables(page)
+			for _, c := range clickables {
+				els = append(els, elementFrom(c, r.b.CrossDomain(page, c)))
+			}
+		} else {
+			rec.Fail = "connect: " + err.Error()
+		}
+
+		dec, derr := r.api.SubmitElements(r.walk, step, r.name, els)
+		if derr != nil {
+			rec.Fail = "controller: " + derr.Error()
+			r.ws.putStep(step, r.name, rec)
+			return
+		}
+		if !dec.Found {
+			// A crawler with no page submitted an empty list, which
+			// guarantees no match for everyone — so all three crawlers
+			// take this branch together and nobody waits at the landing
+			// rendezvous.
+			if page != nil {
+				rec.Fail = "no common element"
+			}
+			r.ws.putStep(step, r.name, rec)
+			if r.trailer != nil && page != nil {
+				r.trailer.recordFail(step, "no common element")
+			}
+			return
+		}
+
+		rec.ClickIndex = dec.Index
+		if dec.Index >= 0 && dec.Index < len(els) {
+			e := els[dec.Index]
+			rec.Clicked = &e
+		}
+		r.b.ResetRequests()
+		next, cerr := r.b.Click(page, dec.Index)
+		fqdn := ""
+		if cerr != nil {
+			if isConnectError(cerr) {
+				rec.Fail = "connect: " + cerr.Error()
+			} else {
+				rec.Fail = "click: " + cerr.Error()
+			}
+			var nav *browser.NavError
+			if errors.As(cerr, &nav) {
+				rec.NavChain = nav.Chain
+			}
+			rec.Requests = r.b.Requests()
+		} else {
+			r.cfg.Network.Clock().Advance(time.Duration(r.cfg.DwellSeconds) * time.Second)
+			rec.NavChain = next.Chain
+			rec.LandedURL = next.URL.String()
+			rec.Requests = r.b.Requests()
+			rec.After = r.snapshot(r.b, next.URL.String())
+			fqdn = next.URL.Hostname()
+		}
+
+		land, lerr := r.api.SubmitLanding(r.walk, step, r.name, fqdn)
+		r.ws.putStep(step, r.name, rec)
+
+		// Safari-1R repeats the step right after Safari-1 finishes it
+		// (§3.2).
+		if r.trailer != nil && rec.Clicked != nil {
+			r.trailer.repeatStep(step, rec.StartURL, els, dec.Index)
+		}
+
+		if lerr != nil || cerr != nil || !land.Synchronized {
+			return
+		}
+		page = next
+	}
+}
+
+// sameURLSansQuery compares two URLs by host and path, ignoring query
+// strings: the repeat crawler's landing URL legitimately differs from
+// Safari-1's by its own UID values.
+func sameURLSansQuery(a, b string) bool {
+	ua, erra := url.Parse(a)
+	ub, errb := url.Parse(b)
+	if erra != nil || errb != nil {
+		return a == b
+	}
+	return ua.Host == ub.Host && ua.Path == ub.Path
+}
+
+// isConnectError distinguishes transport failures from click logic
+// failures.
+func isConnectError(err error) bool {
+	var nav *browser.NavError
+	if errors.As(err, &nav) {
+		var nt *browser.ErrNoTarget
+		return !errors.As(err, &nt)
+	}
+	return false
+}
+
+// trailRunner is Safari-1R: it repeats each of Safari-1's steps with the
+// same user profile, providing the repeat observations that separate
+// session IDs from UIDs (§3.7.1).
+type trailRunner struct {
+	cfg  Config
+	ws   *walkState
+	walk int
+	b    *browser.Browser
+	page *browser.Page
+}
+
+func (t *trailRunner) repeatSeed(seedURL string) {
+	page, err := t.b.Navigate(seedURL, "")
+	rec := &CrawlerStep{
+		Crawler:  Safari1R,
+		Profile:  ProfileOf(Safari1R),
+		StartURL: seedURL,
+		Requests: t.b.Requests(),
+	}
+	if err != nil {
+		rec.Fail = "connect: " + err.Error()
+	} else {
+		rec.LandedURL = page.URL.String()
+		rec.After = takeSnapshot(t.b, page.URL.String())
+		t.page = page
+	}
+	t.ws.putSeed(Safari1R, rec)
+}
+
+func (t *trailRunner) recordFail(step int, reason string) {
+	rec := &CrawlerStep{Crawler: Safari1R, Profile: ProfileOf(Safari1R), ClickIndex: -1, Fail: reason}
+	if t.page != nil {
+		rec.StartURL = t.page.URL.String()
+	}
+	t.ws.putStep(step, Safari1R, rec)
+}
+
+// repeatStep finds Safari-1's clicked element on the repeat crawler's own
+// page instance and clicks it. The two element lists are aligned in
+// document order with the same matching heuristics the controller uses —
+// matching the single clicked element in isolation would confuse
+// same-sized anchors, since heuristic 2 ignores the y-coordinate. The
+// repeat crawler repeats Safari-1's step, not its own history: if it
+// drifted — say its previous ad click landed on a different site — it
+// first re-navigates to Safari-1's start URL (its profile storage
+// persists, so the revisit observations stay valid).
+func (t *trailRunner) repeatStep(step int, startURL string, s1Elements []Element, clickedIdx int) {
+	rec := &CrawlerStep{Crawler: Safari1R, Profile: ProfileOf(Safari1R), ClickIndex: -1}
+	if t.page == nil || (startURL != "" && !sameURLSansQuery(t.page.URL.String(), startURL)) {
+		page, err := t.b.Navigate(startURL, "")
+		if err != nil {
+			rec.Fail = "connect: " + err.Error()
+			rec.StartURL = startURL
+			t.ws.putStep(step, Safari1R, rec)
+			t.page = nil
+			return
+		}
+		t.page = page
+	}
+	rec.StartURL = t.page.URL.String()
+	rec.Before = takeSnapshot(t.b, t.page.URL.String())
+
+	var own []Element
+	for _, c := range t.b.Clickables(t.page) {
+		own = append(own, elementFrom(c, false))
+	}
+	match := -1
+	if aligned := MatchPair(s1Elements, own, AllHeuristics); clickedIdx >= 0 && clickedIdx < len(aligned) {
+		match = aligned[clickedIdx]
+	}
+	if match < 0 {
+		rec.Fail = "repeat: element not found"
+		t.ws.putStep(step, Safari1R, rec)
+		t.page = nil
+		return
+	}
+	rec.ClickIndex = match
+	t.b.ResetRequests()
+	next, err := t.b.Click(t.page, match)
+	if err != nil {
+		rec.Fail = "click: " + err.Error()
+		rec.Requests = t.b.Requests()
+		t.ws.putStep(step, Safari1R, rec)
+		t.page = nil
+		return
+	}
+	t.cfg.Network.Clock().Advance(time.Duration(t.cfg.DwellSeconds) * time.Second)
+	rec.NavChain = next.Chain
+	rec.LandedURL = next.URL.String()
+	rec.Requests = t.b.Requests()
+	rec.After = takeSnapshot(t.b, next.URL.String())
+	t.ws.putStep(step, Safari1R, rec)
+	t.page = next
+}

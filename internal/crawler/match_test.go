@@ -1,0 +1,130 @@
+package crawler
+
+import (
+	"net/url"
+	"testing"
+
+	"crumbcruncher/internal/dom"
+)
+
+func anchor(href string, box dom.Rect, xpath string) Element {
+	return Element{Kind: "a", Href: href, AttrNames: []string{"href"}, Box: box, XPath: xpath}
+}
+
+func iframe(attrs []string, box dom.Rect, xpath string) Element {
+	return Element{Kind: "iframe", AttrNames: attrs, Box: box, XPath: xpath}
+}
+
+func TestHeuristic1HrefIgnoresQuery(t *testing.T) {
+	a := anchor("http://x.com/p?uid=alice", dom.Rect{X: 0, Y: 10, W: 100, H: 20}, "/a[1]")
+	b := anchor("http://x.com/p?uid=bob", dom.Rect{X: 5, Y: 99, W: 50, H: 10}, "/div[1]/a[1]")
+	if !SameElement(a, b) {
+		t.Fatal("same href modulo query must match (decorated UIDs differ per crawler)")
+	}
+	c := anchor("http://y.com/p", dom.Rect{}, "/a[2]")
+	if SameElement(a, c) {
+		t.Fatal("different href, box and x-path must not match")
+	}
+}
+
+func TestHeuristic2BoxIgnoresY(t *testing.T) {
+	attrs := []string{"src", "width", "height"}
+	a := iframe(attrs, dom.Rect{X: 10, Y: 100, W: 300, H: 250}, "/div[1]/iframe[1]")
+	b := iframe(attrs, dom.Rect{X: 10, Y: 400, W: 300, H: 250}, "/div[2]/iframe[1]")
+	if !SameElement(a, b) {
+		t.Fatal("same attrs + box modulo y must match")
+	}
+	c := iframe(attrs, dom.Rect{X: 10, Y: 100, W: 728, H: 90}, "/div[1]/iframe[1]")
+	// Different size — but same xpath, so heuristic 3 fires. Mask it.
+	if sameElementWith(a, c, Heuristics{Box: true}) {
+		t.Fatal("different width/height must not match via heuristic 2")
+	}
+	d := iframe([]string{"src", "class"}, dom.Rect{X: 10, Y: 100, W: 300, H: 250}, "/div[9]/iframe[1]")
+	if SameElement(a, d) {
+		t.Fatal("different attribute names must not match")
+	}
+}
+
+func TestHeuristic3XPath(t *testing.T) {
+	attrs := []string{"src"}
+	a := iframe(attrs, dom.Rect{X: 0, Y: 0, W: 100, H: 50}, "/body[1]/iframe[2]")
+	b := iframe(attrs, dom.Rect{X: 999, Y: 999, W: 1, H: 1}, "/body[1]/iframe[2]")
+	if !SameElement(a, b) {
+		t.Fatal("same attrs + xpath must match")
+	}
+	c := iframe(attrs, dom.Rect{}, "/body[1]/iframe[3]")
+	if sameElementWith(a, c, Heuristics{XPath: true}) {
+		t.Fatal("different xpath must not match via heuristic 3")
+	}
+}
+
+func TestKindMismatchNeverMatches(t *testing.T) {
+	a := Element{Kind: "a", Href: "http://x.com/", AttrNames: []string{"href"}}
+	f := Element{Kind: "iframe", AttrNames: []string{"href"}}
+	if SameElement(a, f) {
+		t.Fatal("anchor and iframe must never match")
+	}
+}
+
+func TestMatchElementsTripleGreedy(t *testing.T) {
+	// Each logical element carries a distinct attribute-name set so only
+	// heuristic 1 (href) can match, making cross-index matching
+	// observable.
+	mk := func(hrefs ...string) []Element {
+		var out []Element
+		for i, h := range hrefs {
+			u, _ := url.Parse(h)
+			e := anchor(h, dom.Rect{X: i * 10, W: 100, H: 20}, "/a[1]")
+			e.AttrNames = []string{"href", "data-" + u.Hostname()}
+			e.Index = i
+			out = append(out, e)
+		}
+		return out
+	}
+	lists := map[string][]Element{
+		Safari1: mk("http://a.com/x", "http://b.com/y?u=1", "http://only1.com/"),
+		Safari2: mk("http://b.com/y?u=2", "http://a.com/x"),
+		Chrome3: mk("http://c.com/z", "http://a.com/x", "http://b.com/y?u=3"),
+	}
+	got := MatchElements(lists, AllHeuristics)
+	if len(got) != 2 {
+		t.Fatalf("matches = %d, want 2", len(got))
+	}
+	// First match is a.com/x (document order of Safari-1).
+	if got[0].Indices[Safari1] != 0 || got[0].Indices[Safari2] != 1 || got[0].Indices[Chrome3] != 1 {
+		t.Fatalf("match 0 indices wrong: %+v", got[0].Indices)
+	}
+	if got[1].Indices[Safari1] != 1 || got[1].Indices[Safari2] != 0 || got[1].Indices[Chrome3] != 2 {
+		t.Fatalf("match 1 indices wrong: %+v", got[1].Indices)
+	}
+}
+
+func TestMatchElementsNoDoubleUse(t *testing.T) {
+	// Two identical elements in list 1 must not both claim the single
+	// instance in lists 2/3.
+	dup := anchor("http://a.com/x", dom.Rect{W: 100, H: 20}, "/a[1]")
+	l1 := []Element{dup, dup}
+	l1[1].Index = 1
+	lists := map[string][]Element{
+		Safari1: l1,
+		Safari2: {anchor("http://a.com/x", dom.Rect{W: 100, H: 20}, "/a[1]")},
+		Chrome3: {anchor("http://a.com/x", dom.Rect{W: 100, H: 20}, "/a[1]")},
+	}
+	if got := MatchElements(lists, AllHeuristics); len(got) != 1 {
+		t.Fatalf("matches = %d, want 1", len(got))
+	}
+}
+
+func TestHrefSansQuery(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"http://x.com/p?a=1&b=2", "http://x.com/p"},
+		{"http://x.com/p#frag", "http://x.com/p"},
+		{"/rel/path?q=1", "/rel/path"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := hrefSansQuery(c.in); got != c.want {
+			t.Errorf("hrefSansQuery(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package dom
+
+import "strconv"
+
+// Layout assigns bounding boxes to every element under root using a
+// deterministic block-layout model:
+//
+//   - The viewport is viewportWidth pixels wide; the document flows top to
+//     bottom.
+//   - An element's width/height come from its width/height attributes when
+//     present, otherwise from per-tag defaults.
+//   - Block elements stack vertically; inline elements (a, span, img,
+//     button) flow left to right and wrap at the viewport edge.
+//
+// The model is intentionally simple but captures the property the paper's
+// synchronization heuristics depend on: inserting or resizing a dynamic
+// element above another element shifts the lower element's y-coordinate
+// while preserving its x/width/height — which is exactly why heuristic 2 in
+// §3.3 ignores y when comparing bounding boxes.
+func Layout(root *Node, viewportWidth int) {
+	if viewportWidth <= 0 {
+		viewportWidth = 1280
+	}
+	l := &layouter{viewport: viewportWidth}
+	l.layoutBlock(root, 0, 0, viewportWidth)
+}
+
+type layouter struct {
+	viewport int
+}
+
+// tagDefaults gives intrinsic sizes for tags whose dimensions matter to
+// element matching. Iframes default to the classic 300x250 ad slot.
+var tagDefaults = map[string]Rect{
+	"iframe": {W: 300, H: 250},
+	"img":    {W: 120, H: 90},
+	"a":      {W: 160, H: 18},
+	"button": {W: 96, H: 28},
+	"span":   {W: 80, H: 18},
+	"input":  {W: 180, H: 24},
+	"h1":     {W: 0, H: 40}, // W 0 => full width
+	"h2":     {W: 0, H: 32},
+	"p":      {W: 0, H: 60},
+	"div":    {W: 0, H: 0}, // sized by children
+	"nav":    {W: 0, H: 48},
+	"footer": {W: 0, H: 80},
+}
+
+var inlineTags = map[string]bool{
+	"a": true, "span": true, "img": true, "button": true, "input": true,
+}
+
+// layoutBlock lays out n's children starting at (x, y) within width, and
+// returns the total height consumed.
+func (l *layouter) layoutBlock(n *Node, x, y, width int) int {
+	startY := y
+	curX, lineH := x, 0
+	flushLine := func() {
+		if lineH > 0 {
+			y += lineH
+			curX, lineH = x, 0
+		}
+	}
+	for _, c := range n.Children {
+		if c.Type != ElementNode {
+			continue
+		}
+		w, h := elementSize(c, width)
+		if inlineTags[c.Tag] {
+			if curX+w > x+width && curX > x {
+				// Wrap.
+				y += lineH
+				curX, lineH = x, 0
+			}
+			c.Box = Rect{X: curX, Y: y, W: w, H: h}
+			// Inline elements may still have children (e.g. <a><img></a>).
+			l.layoutBlock(c, curX, y, w)
+			curX += w + 8
+			if h > lineH {
+				lineH = h
+			}
+			continue
+		}
+		flushLine()
+		if w == 0 {
+			w = width
+		}
+		c.Box = Rect{X: x, Y: y, W: w, H: h}
+		childH := l.layoutBlock(c, x, y, w)
+		if childH > h {
+			h = childH
+			c.Box.H = h
+		}
+		y += h + 4
+	}
+	flushLine()
+	return y - startY
+}
+
+// elementSize resolves an element's declared or default size.
+func elementSize(n *Node, containerWidth int) (w, h int) {
+	def := tagDefaults[n.Tag]
+	w, h = def.W, def.H
+	if v, ok := n.Attr("width"); ok {
+		if p, err := strconv.Atoi(v); err == nil && p > 0 {
+			w = p
+		}
+	}
+	if v, ok := n.Attr("height"); ok {
+		if p, err := strconv.Atoi(v); err == nil && p > 0 {
+			h = p
+		}
+	}
+	if w > containerWidth && containerWidth > 0 {
+		w = containerWidth
+	}
+	return w, h
+}

@@ -1,0 +1,214 @@
+// Package dom implements the small HTML engine CrumbCruncher's simulated
+// browser runs on: a tokenizer and parser for the HTML subset the synthetic
+// web emits, an element tree with attributes, x-path computation, and a
+// deterministic block-layout pass that assigns bounding boxes.
+//
+// The paper's crawlers identify "the same" element across page instances by
+// href, by attribute names + bounding box, or by attribute names + x-path
+// (§3.3); this package supplies all three signals.
+package dom
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeType distinguishes the node kinds in the tree.
+type NodeType int
+
+const (
+	// ElementNode is a tag with attributes and children.
+	ElementNode NodeType = iota
+	// TextNode is character data.
+	TextNode
+	// CommentNode is an HTML comment.
+	CommentNode
+)
+
+// Attr is a single name="value" attribute. Attribute order is preserved
+// from the source, which keeps rendering and attribute-name fingerprints
+// deterministic.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Rect is an element's layout bounding box in CSS pixels.
+type Rect struct {
+	X, Y, W, H int
+}
+
+// String renders a Rect compactly for logs and controller payloads.
+func (r Rect) String() string { return fmt.Sprintf("(%d,%d %dx%d)", r.X, r.Y, r.W, r.H) }
+
+// Node is a node in the document tree. The zero value is an empty text
+// node.
+type Node struct {
+	Type     NodeType
+	Tag      string // lowercase tag name for ElementNode
+	Text     string // data for TextNode and CommentNode
+	Attrs    []Attr
+	Parent   *Node
+	Children []*Node
+
+	// Box is populated by Layout.
+	Box Rect
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrOr returns the named attribute or a default.
+func (n *Node) AttrOr(name, def string) string {
+	if v, ok := n.Attr(name); ok {
+		return v
+	}
+	return def
+}
+
+// SetAttr sets or replaces an attribute.
+func (n *Node) SetAttr(name, value string) {
+	for i, a := range n.Attrs {
+		if a.Name == name {
+			n.Attrs[i].Value = value
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Name: name, Value: value})
+}
+
+// AttrNames returns the attribute names in document order. Two elements
+// "have the same HTML attribute names" (heuristics 2 and 3 in §3.3) when
+// these slices are equal.
+func (n *Node) AttrNames() []string {
+	names := make([]string, len(n.Attrs))
+	for i, a := range n.Attrs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// AppendChild adds c as the last child of n and sets its parent.
+func (n *Node) AppendChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// Find returns the first element (depth-first, document order) for which
+// pred returns true, or nil.
+func (n *Node) Find(pred func(*Node) bool) *Node {
+	if n.Type == ElementNode && pred(n) {
+		return n
+	}
+	for _, c := range n.Children {
+		if m := c.Find(pred); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// FindAll appends every matching element in document order.
+func (n *Node) FindAll(pred func(*Node) bool) []*Node {
+	var out []*Node
+	n.walk(func(e *Node) {
+		if pred(e) {
+			out = append(out, e)
+		}
+	})
+	return out
+}
+
+// ElementsByTag returns all elements with the given tag in document order.
+func (n *Node) ElementsByTag(tag string) []*Node {
+	tag = strings.ToLower(tag)
+	return n.FindAll(func(e *Node) bool { return e.Tag == tag })
+}
+
+// ByID returns the element with the given id attribute, or nil.
+func (n *Node) ByID(id string) *Node {
+	return n.Find(func(e *Node) bool { return e.AttrOr("id", "") == id })
+}
+
+// walk visits every element node depth-first.
+func (n *Node) walk(visit func(*Node)) {
+	if n.Type == ElementNode {
+		visit(n)
+	}
+	for _, c := range n.Children {
+		c.walk(visit)
+	}
+}
+
+// InnerText concatenates the text content beneath n.
+func (n *Node) InnerText() string {
+	var b strings.Builder
+	var rec func(*Node)
+	rec = func(m *Node) {
+		if m.Type == TextNode {
+			b.WriteString(m.Text)
+		}
+		for _, c := range m.Children {
+			rec(c)
+		}
+	}
+	rec(n)
+	return b.String()
+}
+
+// XPath returns a simple positional x-path for the element, e.g.
+// /html[1]/body[1]/div[2]/a[1]. Positions count same-tag siblings only,
+// matching what browser devtools produce and what the paper's controller
+// compares.
+func (n *Node) XPath() string {
+	if n.Type != ElementNode {
+		if n.Parent != nil {
+			return n.Parent.XPath()
+		}
+		return ""
+	}
+	var parts []string
+	for e := n; e != nil && e.Type == ElementNode && e.Tag != "#document"; e = e.Parent {
+		pos := 1
+		if e.Parent != nil {
+			for _, sib := range e.Parent.Children {
+				if sib == e {
+					break
+				}
+				if sib.Type == ElementNode && sib.Tag == e.Tag {
+					pos++
+				}
+			}
+		}
+		parts = append(parts, fmt.Sprintf("%s[%d]", e.Tag, pos))
+	}
+	// Reverse.
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// NewElement constructs an element node with alternating attribute
+// name/value pairs. It panics on an odd number of pairs, which is always a
+// programming error in the generator.
+func NewElement(tag string, attrPairs ...string) *Node {
+	if len(attrPairs)%2 != 0 {
+		panic("dom: NewElement attrPairs must be name/value pairs")
+	}
+	n := &Node{Type: ElementNode, Tag: strings.ToLower(tag)}
+	for i := 0; i < len(attrPairs); i += 2 {
+		n.Attrs = append(n.Attrs, Attr{Name: attrPairs[i], Value: attrPairs[i+1]})
+	}
+	return n
+}
+
+// NewText constructs a text node.
+func NewText(text string) *Node { return &Node{Type: TextNode, Text: text} }

@@ -1,0 +1,264 @@
+package dom
+
+import (
+	"strings"
+)
+
+// voidElements never have children and need no closing tag.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"source": true, "track": true, "wbr": true,
+}
+
+// Parse parses an HTML document into a tree rooted at a synthetic
+// #document node. The parser accepts the well-formed subset the synthetic
+// web emits and degrades gracefully on the rest: unknown entities pass
+// through, stray close tags are ignored, and unclosed elements are closed
+// at end of input. Parse never fails; like a browser, it always produces a
+// tree.
+func Parse(html string) *Node {
+	root := &Node{Type: ElementNode, Tag: "#document"}
+	stack := []*Node{root}
+	top := func() *Node { return stack[len(stack)-1] }
+
+	i := 0
+	for i < len(html) {
+		if html[i] != '<' {
+			// Text run.
+			j := strings.IndexByte(html[i:], '<')
+			if j < 0 {
+				j = len(html) - i
+			}
+			text := html[i : i+j]
+			if strings.TrimSpace(text) != "" {
+				top().AppendChild(NewText(decodeEntities(text)))
+			}
+			i += j
+			continue
+		}
+		// Comment.
+		if strings.HasPrefix(html[i:], "<!--") {
+			end := strings.Index(html[i+4:], "-->")
+			if end < 0 {
+				top().AppendChild(&Node{Type: CommentNode, Text: html[i+4:]})
+				break
+			}
+			top().AppendChild(&Node{Type: CommentNode, Text: html[i+4 : i+4+end]})
+			i += 4 + end + 3
+			continue
+		}
+		// Doctype or other declaration: skip to '>'.
+		if strings.HasPrefix(html[i:], "<!") || strings.HasPrefix(html[i:], "<?") {
+			end := strings.IndexByte(html[i:], '>')
+			if end < 0 {
+				break
+			}
+			i += end + 1
+			continue
+		}
+		// Close tag.
+		if strings.HasPrefix(html[i:], "</") {
+			end := strings.IndexByte(html[i:], '>')
+			if end < 0 {
+				break
+			}
+			name := strings.ToLower(strings.TrimSpace(html[i+2 : i+end]))
+			// Pop to the matching open element if one exists.
+			for d := len(stack) - 1; d >= 1; d-- {
+				if stack[d].Tag == name {
+					stack = stack[:d]
+					break
+				}
+			}
+			i += end + 1
+			continue
+		}
+		// Open tag.
+		end := strings.IndexByte(html[i:], '>')
+		if end < 0 {
+			break
+		}
+		raw := html[i+1 : i+end]
+		i += end + 1
+		selfClose := strings.HasSuffix(raw, "/")
+		if selfClose {
+			raw = strings.TrimSuffix(raw, "/")
+		}
+		el := parseTag(raw)
+		if el == nil {
+			continue
+		}
+		top().AppendChild(el)
+		if el.Tag == "script" || el.Tag == "style" {
+			// Raw-text elements: consume to the closing tag verbatim.
+			closer := "</" + el.Tag
+			idx := strings.Index(strings.ToLower(html[i:]), closer)
+			if idx < 0 {
+				el.AppendChild(NewText(html[i:]))
+				break
+			}
+			if idx > 0 {
+				el.AppendChild(NewText(html[i : i+idx]))
+			}
+			gt := strings.IndexByte(html[i+idx:], '>')
+			if gt < 0 {
+				break
+			}
+			i += idx + gt + 1
+			continue
+		}
+		if !selfClose && !voidElements[el.Tag] {
+			stack = append(stack, el)
+		}
+	}
+	return root
+}
+
+// parseTag parses "name attr=val attr2="v2" flag" into an element.
+func parseTag(raw string) *Node {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return nil
+	}
+	nameEnd := 0
+	for nameEnd < len(raw) && !isSpace(raw[nameEnd]) {
+		nameEnd++
+	}
+	el := &Node{Type: ElementNode, Tag: strings.ToLower(raw[:nameEnd])}
+	rest := raw[nameEnd:]
+	for {
+		rest = strings.TrimLeft(rest, " \t\r\n")
+		if rest == "" {
+			break
+		}
+		// Attribute name.
+		j := 0
+		for j < len(rest) && rest[j] != '=' && !isSpace(rest[j]) {
+			j++
+		}
+		name := strings.ToLower(rest[:j])
+		rest = rest[j:]
+		if name == "" {
+			break
+		}
+		rest = strings.TrimLeft(rest, " \t\r\n")
+		if !strings.HasPrefix(rest, "=") {
+			// Boolean attribute.
+			el.Attrs = append(el.Attrs, Attr{Name: name})
+			continue
+		}
+		rest = strings.TrimLeft(rest[1:], " \t\r\n")
+		var value string
+		switch {
+		case strings.HasPrefix(rest, `"`):
+			end := strings.IndexByte(rest[1:], '"')
+			if end < 0 {
+				value, rest = rest[1:], ""
+			} else {
+				value, rest = rest[1:1+end], rest[2+end:]
+			}
+		case strings.HasPrefix(rest, "'"):
+			end := strings.IndexByte(rest[1:], '\'')
+			if end < 0 {
+				value, rest = rest[1:], ""
+			} else {
+				value, rest = rest[1:1+end], rest[2+end:]
+			}
+		default:
+			j = 0
+			for j < len(rest) && !isSpace(rest[j]) {
+				j++
+			}
+			value, rest = rest[:j], rest[j:]
+		}
+		el.Attrs = append(el.Attrs, Attr{Name: name, Value: decodeEntities(value)})
+	}
+	return el
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+var entityReplacer = strings.NewReplacer(
+	"&amp;", "&",
+	"&lt;", "<",
+	"&gt;", ">",
+	"&quot;", `"`,
+	"&#39;", "'",
+	"&apos;", "'",
+	"&nbsp;", " ",
+)
+
+var entityEscaper = strings.NewReplacer(
+	"&", "&amp;",
+	"<", "&lt;",
+	">", "&gt;",
+	`"`, "&quot;",
+)
+
+func decodeEntities(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	return entityReplacer.Replace(s)
+}
+
+// EscapeText escapes text for safe inclusion in HTML content or attribute
+// values.
+func EscapeText(s string) string { return entityEscaper.Replace(s) }
+
+// Render serializes the tree back to HTML. Rendering a parsed document and
+// re-parsing it yields an equivalent tree (the round-trip property tested
+// in dom_test.go).
+func Render(n *Node) string {
+	var b strings.Builder
+	renderTo(&b, n)
+	return b.String()
+}
+
+func renderTo(b *strings.Builder, n *Node) {
+	switch n.Type {
+	case TextNode:
+		b.WriteString(EscapeText(n.Text))
+		return
+	case CommentNode:
+		b.WriteString("<!--")
+		b.WriteString(n.Text)
+		b.WriteString("-->")
+		return
+	}
+	if n.Tag == "#document" {
+		for _, c := range n.Children {
+			renderTo(b, c)
+		}
+		return
+	}
+	b.WriteByte('<')
+	b.WriteString(n.Tag)
+	for _, a := range n.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		b.WriteString(EscapeText(a.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('>')
+	if voidElements[n.Tag] {
+		return
+	}
+	if n.Tag == "script" || n.Tag == "style" {
+		// Raw text: no escaping.
+		for _, c := range n.Children {
+			if c.Type == TextNode {
+				b.WriteString(c.Text)
+			}
+		}
+	} else {
+		for _, c := range n.Children {
+			renderTo(b, c)
+		}
+	}
+	b.WriteString("</")
+	b.WriteString(n.Tag)
+	b.WriteByte('>')
+}

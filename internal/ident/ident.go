@@ -1,0 +1,105 @@
+// Package ident derives the deterministic identifiers that flow through
+// the synthetic web: user IDs, session IDs, and partition-scoped ad-network
+// IDs. Both the browser's script engine (client-side tracker code) and the
+// web package's HTTP handlers (server-side tracker code) derive IDs through
+// this package, so a given (seed, inputs) pair always yields the same token
+// — which is what makes whole crawls reproducible.
+//
+// Real trackers generate these values randomly and persist them; because a
+// synthetic user's first contact with a tracker is itself deterministic,
+// deriving the value from the (user, tracker) pair is observationally
+// identical while keeping parallel crawlers off shared RNG state.
+package ident
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+)
+
+// Simulation identity headers. Browsers send them on every request; the
+// synthetic web's handlers use them solely to seed deterministic
+// identifier derivation, standing in for the signal a real server gets
+// from a fresh cookieless visitor (mint a random ID) or from a
+// fingerprintable surface.
+const (
+	// HeaderProfile carries the simulated user identity (one "user data
+	// directory").
+	HeaderProfile = "X-Crumb-Profile"
+	// HeaderClient carries the crawler instance identity; two crawlers
+	// may share a profile (Safari-1 and Safari-1R) yet receive distinct
+	// session IDs.
+	HeaderClient = "X-Crumb-Client"
+	// HeaderMachine carries the machine fingerprint surface.
+	HeaderMachine = "X-Crumb-Machine"
+)
+
+// digest hashes the seed and parts into 32 bytes.
+func digest(seed int64, kind string, parts []string) [32]byte {
+	h := sha256.New()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	h.Write(b[:])
+	h.Write([]byte(kind))
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// UID returns a 24-hex-character user identifier bound to the given parts
+// (typically tracker domain, profile ID, and — under partitioning — the
+// top-level site).
+func UID(seed int64, parts ...string) string {
+	d := digest(seed, "uid", parts)
+	return hex.EncodeToString(d[:12])
+}
+
+// SessionID returns a 20-hex-character identifier that differs on every
+// visit: callers include a per-client visit counter in parts.
+func SessionID(seed int64, parts ...string) string {
+	d := digest(seed, "session", parts)
+	return hex.EncodeToString(d[:10])
+}
+
+// Fingerprint returns a 16-hex-character machine fingerprint token. All
+// profiles on one simulated machine share it, reproducing the paper's
+// §3.5 concern that fingerprint-derived UIDs defeat multi-profile user
+// simulation.
+func Fingerprint(seed int64, machine string) string {
+	d := digest(seed, "fingerprint", []string{machine})
+	return hex.EncodeToString(d[:8])
+}
+
+// OpaqueToken returns an n-hex-character value for miscellaneous
+// deterministic needs (ad ids, cache busters). n is clamped to [8, 64].
+func OpaqueToken(seed int64, n int, parts ...string) string {
+	if n < 8 {
+		n = 8
+	}
+	if n > 64 {
+		n = 64
+	}
+	d := digest(seed, "opaque", parts)
+	return hex.EncodeToString(d[:])[:n]
+}
+
+// ShortHash returns a small non-negative integer in [0, mod) derived from
+// the parts; handlers use it for stable pseudo-random choices (e.g. which
+// error page flavour a domain serves).
+func ShortHash(seed int64, mod int, parts ...string) int {
+	if mod <= 0 {
+		return 0
+	}
+	d := digest(seed, "shorthash", parts)
+	v := binary.LittleEndian.Uint64(d[:8])
+	return int(v % uint64(mod))
+}
+
+// Join canonicalizes parts into a single stable string key (used for map
+// keys that mirror derivations).
+func Join(parts ...string) string { return strings.Join(parts, "\x00") }

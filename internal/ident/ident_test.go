@@ -1,0 +1,115 @@
+package ident
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUIDDeterministic(t *testing.T) {
+	a := UID(1, "tracker.com", "profile-1")
+	b := UID(1, "tracker.com", "profile-1")
+	if a != b {
+		t.Fatal("UID not deterministic")
+	}
+	if len(a) != 24 {
+		t.Fatalf("UID length = %d, want 24", len(a))
+	}
+}
+
+func TestUIDDistinguishesUsers(t *testing.T) {
+	if UID(1, "t.com", "p1") == UID(1, "t.com", "p2") {
+		t.Fatal("different profiles must get different UIDs")
+	}
+	if UID(1, "t.com", "p1") == UID(2, "t.com", "p1") {
+		t.Fatal("different seeds must get different UIDs")
+	}
+	if UID(1, "t.com", "p1") == UID(1, "u.com", "p1") {
+		t.Fatal("different trackers must get different UIDs")
+	}
+}
+
+func TestUIDPartSeparation(t *testing.T) {
+	// ("ab", "c") must differ from ("a", "bc"): parts are delimited.
+	if UID(1, "ab", "c") == UID(1, "a", "bc") {
+		t.Fatal("part boundaries not preserved")
+	}
+}
+
+func TestKindSeparation(t *testing.T) {
+	if UID(1, "x")[:16] == SessionID(1, "x")[:16] {
+		t.Fatal("UID and SessionID derivations must be independent")
+	}
+}
+
+func TestSessionIDLength(t *testing.T) {
+	if got := SessionID(1, "d.com", "client", "3"); len(got) != 20 {
+		t.Fatalf("SessionID length = %d, want 20", len(got))
+	}
+}
+
+func TestFingerprintSharedAcrossProfiles(t *testing.T) {
+	// Fingerprint depends only on the machine, not the profile — the very
+	// property that worried the paper's authors.
+	m := Fingerprint(5, "crawler-host-1")
+	if m != Fingerprint(5, "crawler-host-1") {
+		t.Fatal("fingerprint not stable")
+	}
+	if m == Fingerprint(5, "crawler-host-2") {
+		t.Fatal("different machines must differ")
+	}
+	if len(m) != 16 {
+		t.Fatalf("len = %d, want 16", len(m))
+	}
+}
+
+func TestOpaqueTokenClamping(t *testing.T) {
+	if got := OpaqueToken(1, 0, "x"); len(got) != 8 {
+		t.Fatalf("clamp low: %d", len(got))
+	}
+	if got := OpaqueToken(1, 100, "x"); len(got) != 64 {
+		t.Fatalf("clamp high: %d", len(got))
+	}
+	if got := OpaqueToken(1, 16, "x"); len(got) != 16 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestShortHashRange(t *testing.T) {
+	f := func(seed int64, part string) bool {
+		v := ShortHash(seed, 7, part)
+		return v >= 0 && v < 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ShortHash(1, 0, "x") != 0 {
+		t.Fatal("mod<=0 should return 0")
+	}
+}
+
+func TestShortHashStable(t *testing.T) {
+	if ShortHash(3, 100, "a.com") != ShortHash(3, 100, "a.com") {
+		t.Fatal("ShortHash not deterministic")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	if Join("a", "b") == Join("ab") {
+		t.Fatal("Join must delimit parts")
+	}
+}
+
+// Property: all hex, lowercase.
+func TestUIDHexProperty(t *testing.T) {
+	f := func(seed int64, p string) bool {
+		for _, c := range UID(seed, p) {
+			if !((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,365 @@
+// Package netsim provides the virtual network the synthetic web is served
+// over. It implements http.RoundTripper: requests carry real
+// *http.Request/*http.Response values end to end, and the browser, crawler
+// and tracker code is written exactly as it would be against live sockets —
+// the transport is the only substitution for the paper's real Internet.
+//
+// The simulator models the two network behaviours the paper measures or
+// depends on:
+//
+//   - Connection failures. 3.3% of the sites CrumbCruncher attempted to
+//     visit failed with errors like ECONNREFUSED or ECONNRESET (§3.3). The
+//     fault injector reproduces those as genuine *net.OpError values
+//     wrapping syscall errnos, decided deterministically per registered
+//     domain so that synchronized crawlers observe identical failures.
+//
+//   - Latency. Requests are assigned log-normally distributed latencies on
+//     a virtual clock (no real sleeping), so timing-derived statistics are
+//     reproducible and fast.
+package netsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"crumbcruncher/internal/publicsuffix"
+	"crumbcruncher/internal/stats"
+)
+
+// Network is a virtual Internet: a host registry plus fault and latency
+// models. It is safe for concurrent use by multiple crawlers.
+type Network struct {
+	mu    sync.RWMutex
+	hosts map[string]http.Handler
+
+	faults  *FaultInjector
+	latency *LatencyModel
+	clock   *VirtualClock
+
+	requests atomic.Int64
+	failures atomic.Int64
+
+	// observers are notified of every request before dispatch. Used by
+	// tests; the browser layer records its own requests.
+	obsMu     sync.RWMutex
+	observers []func(*http.Request)
+}
+
+// New returns an empty Network with no faults and zero latency.
+func New() *Network {
+	return &Network{
+		hosts:   make(map[string]http.Handler),
+		faults:  NewFaultInjector(0, 0),
+		latency: NewLatencyModel(0, 0, 0),
+		clock:   NewVirtualClock(),
+	}
+}
+
+// SetFaults installs a fault injector. Passing nil disables fault
+// injection.
+func (n *Network) SetFaults(f *FaultInjector) {
+	if f == nil {
+		f = NewFaultInjector(0, 0)
+	}
+	n.faults = f
+}
+
+// Faults returns the active fault injector.
+func (n *Network) Faults() *FaultInjector { return n.faults }
+
+// SetLatency installs a latency model. Passing nil disables latency.
+func (n *Network) SetLatency(l *LatencyModel) {
+	if l == nil {
+		l = NewLatencyModel(0, 0, 0)
+	}
+	n.latency = l
+}
+
+// Clock returns the network's virtual clock.
+func (n *Network) Clock() *VirtualClock { return n.clock }
+
+// Handle registers handler for the exact host (no port). Registering the
+// same host twice replaces the handler.
+func (n *Network) Handle(host string, handler http.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hosts[host] = handler
+}
+
+// HandleFunc registers a handler function for host.
+func (n *Network) HandleFunc(host string, fn func(http.ResponseWriter, *http.Request)) {
+	n.Handle(host, http.HandlerFunc(fn))
+}
+
+// Hosts returns the registered hosts in sorted order.
+func (n *Network) Hosts() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	hosts := make([]string, 0, len(n.hosts))
+	for h := range n.hosts {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+// Observe registers fn to be called for every request entering the
+// network.
+func (n *Network) Observe(fn func(*http.Request)) {
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	n.observers = append(n.observers, fn)
+}
+
+// RequestCount returns the number of requests dispatched (including
+// failed ones).
+func (n *Network) RequestCount() int64 { return n.requests.Load() }
+
+// FailureCount returns the number of injected connection failures.
+func (n *Network) FailureCount() int64 { return n.failures.Load() }
+
+// ErrUnknownHost is the error flavour for hosts with no registered
+// handler; it mirrors a DNS NXDOMAIN failure.
+type ErrUnknownHost struct{ Host string }
+
+func (e *ErrUnknownHost) Error() string {
+	return fmt.Sprintf("netsim: lookup %s: no such host", e.Host)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (n *Network) RoundTrip(req *http.Request) (*http.Response, error) {
+	n.requests.Add(1)
+
+	n.obsMu.RLock()
+	obs := n.observers
+	n.obsMu.RUnlock()
+	for _, fn := range obs {
+		fn(req)
+	}
+
+	host := hostOnly(req.URL.Host)
+	if err := n.faults.Check(host); err != nil {
+		n.failures.Add(1)
+		return nil, err
+	}
+
+	n.mu.RLock()
+	handler, ok := n.hosts[host]
+	n.mu.RUnlock()
+	if !ok {
+		n.failures.Add(1)
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: &ErrUnknownHost{Host: host}}
+	}
+
+	n.clock.Advance(n.latency.Sample(host))
+
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// Client returns an *http.Client backed by this network that does NOT
+// follow redirects: the browser layer walks redirect chains itself so that
+// every hop — every potential UID smuggler — is observed and recorded.
+func (n *Network) Client() *http.Client {
+	return &http.Client{
+		Transport: n,
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+}
+
+// hostOnly strips a port from a host:port string.
+func hostOnly(hostport string) string {
+	if host, _, err := net.SplitHostPort(hostport); err == nil {
+		return host
+	}
+	return hostport
+}
+
+// ReadBody fully reads and closes a response body. It is tolerant of nil
+// responses for use in error paths.
+func ReadBody(resp *http.Response) (string, error) {
+	if resp == nil || resp.Body == nil {
+		return "", nil
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// FaultInjector decides, deterministically per registered domain, whether
+// connections to a host fail and with which error. The per-domain decision
+// matches the paper's observation model: a site is either reachable for the
+// whole crawl or not, so all four synchronized crawlers see the same
+// failure at step 1 of a walk.
+type FaultInjector struct {
+	seed   uint64
+	rate   float64
+	psl    *publicsuffix.List
+	exempt map[string]bool
+}
+
+// NewFaultInjector returns an injector failing connections to a fraction
+// rate of registered domains, derived from seed.
+func NewFaultInjector(seed int64, rate float64) *FaultInjector {
+	return &FaultInjector{
+		seed:   uint64(stats.DeriveSeed(seed, "netsim/faults")),
+		rate:   rate,
+		psl:    publicsuffix.Default(),
+		exempt: make(map[string]bool),
+	}
+}
+
+// Rate returns the configured failure rate.
+func (f *FaultInjector) Rate() float64 { return f.rate }
+
+// Exempt excludes the registered domains of the given hosts from fault
+// injection. The synthetic web exempts tracker infrastructure so that the
+// connect-failure rate applies to content sites, matching the paper's
+// accounting ("3.3% of the sites it attempted to visit"). Exempt must be
+// called before the injector is shared with concurrent users.
+func (f *FaultInjector) Exempt(hosts ...string) {
+	for _, h := range hosts {
+		d := f.psl.RegisteredDomain(h)
+		if d == "" {
+			d = h
+		}
+		f.exempt[d] = true
+	}
+}
+
+// Unreachable reports whether the registered domain of host is failed by
+// this injector.
+func (f *FaultInjector) Unreachable(host string) bool {
+	if f.rate <= 0 {
+		return false
+	}
+	domain := f.psl.RegisteredDomain(host)
+	if domain == "" {
+		domain = host
+	}
+	if f.exempt[domain] {
+		return false
+	}
+	return f.hash(domain, 0)%10000 < uint64(f.rate*10000)
+}
+
+// Check returns the injected error for host, or nil if the host is
+// reachable. The error flavour (refused, reset, timeout) is itself a
+// deterministic function of the domain, mirroring the paper's
+// "ECONNREFUSED, ECONNRESET, etc.".
+func (f *FaultInjector) Check(host string) error {
+	if !f.Unreachable(host) {
+		return nil
+	}
+	domain := f.psl.RegisteredDomain(host)
+	if domain == "" {
+		domain = host
+	}
+	switch f.hash(domain, 1) % 3 {
+	case 0:
+		return &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+	case 1:
+		return &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	default:
+		return &net.OpError{Op: "dial", Net: "tcp", Err: &timeoutError{}}
+	}
+}
+
+func (f *FaultInjector) hash(domain string, salt uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(f.seed >> (8 * i))
+	}
+	h.Write(b[:])
+	for i := range b {
+		b[i] = byte(salt >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(domain))
+	return h.Sum64()
+}
+
+// timeoutError mimics a dial timeout; it satisfies net.Error.
+type timeoutError struct{}
+
+func (*timeoutError) Error() string   { return "i/o timeout" }
+func (*timeoutError) Timeout() bool   { return true }
+func (*timeoutError) Temporary() bool { return true }
+
+// LatencyModel assigns log-normal latencies per host on the virtual
+// clock.
+type LatencyModel struct {
+	mu    sync.Mutex
+	rng   *stats.RNG
+	mu_   float64
+	sigma float64
+}
+
+// NewLatencyModel returns a model drawing latencies (in milliseconds) from
+// LogNormal(mu, sigma). A sigma of 0 with mu of 0 disables latency.
+func NewLatencyModel(seed int64, mu, sigma float64) *LatencyModel {
+	return &LatencyModel{
+		rng:   stats.NewRNG(stats.DeriveSeed(seed, "netsim/latency")),
+		mu_:   mu,
+		sigma: sigma,
+	}
+}
+
+// Sample draws the latency for a request to host.
+func (l *LatencyModel) Sample(host string) time.Duration {
+	if l.mu_ == 0 && l.sigma == 0 {
+		return 0
+	}
+	l.mu.Lock()
+	ms := l.rng.LogNormal(l.mu_, l.sigma)
+	l.mu.Unlock()
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// VirtualClock is a monotonically advancing simulated clock. Crawl
+// timestamps (cookie creation, expiry horizons) come from here, so runs are
+// instant in wall time yet produce realistic-looking time data.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// Epoch is the virtual time origin: a fixed instant so datasets are
+// reproducible byte for byte.
+var Epoch = time.Date(2022, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+// NewVirtualClock returns a clock starting at Epoch.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{now: Epoch} }
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (ignoring non-positive values) and
+// returns the new time.
+func (c *VirtualClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+	return c.now
+}

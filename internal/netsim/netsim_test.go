@@ -1,0 +1,298 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func okHandler(body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, body)
+	})
+}
+
+func TestDispatchByHost(t *testing.T) {
+	n := New()
+	n.Handle("a.com", okHandler("site-a"))
+	n.Handle("b.com", okHandler("site-b"))
+
+	resp, err := n.Client().Get("http://b.com/page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := ReadBody(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "site-b" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestUnknownHost(t *testing.T) {
+	n := New()
+	_, err := n.Client().Get("http://nowhere.invalid/")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var unknown *ErrUnknownHost
+	if !errors.As(err, &unknown) {
+		t.Fatalf("error %v is not ErrUnknownHost", err)
+	}
+	if unknown.Host != "nowhere.invalid" {
+		t.Fatalf("host = %q", unknown.Host)
+	}
+	if n.FailureCount() != 1 {
+		t.Fatalf("FailureCount = %d", n.FailureCount())
+	}
+}
+
+func TestRedirectsNotFollowed(t *testing.T) {
+	n := New()
+	n.HandleFunc("r.com", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "http://d.com/land", http.StatusFound)
+	})
+	n.Handle("d.com", okHandler("dest"))
+
+	resp, err := n.Client().Get("http://r.com/go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusFound {
+		t.Fatalf("status = %d, want 302 (redirect must surface to caller)", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "http://d.com/land" {
+		t.Fatalf("Location = %q", loc)
+	}
+}
+
+func TestRequestHeadersReachHandler(t *testing.T) {
+	n := New()
+	var gotUA, gotCookie string
+	n.HandleFunc("x.com", func(w http.ResponseWriter, r *http.Request) {
+		gotUA = r.Header.Get("User-Agent")
+		gotCookie = r.Header.Get("Cookie")
+	})
+	req, _ := http.NewRequest("GET", "http://x.com/", nil)
+	req.Header.Set("User-Agent", "FakeSafari/1.0")
+	req.Header.Set("Cookie", "uid=abc123")
+	if _, err := n.Client().Do(req); err != nil {
+		t.Fatal(err)
+	}
+	if gotUA != "FakeSafari/1.0" || gotCookie != "uid=abc123" {
+		t.Fatalf("headers lost: ua=%q cookie=%q", gotUA, gotCookie)
+	}
+}
+
+func TestFaultInjectorDeterminism(t *testing.T) {
+	f1 := NewFaultInjector(42, 0.5)
+	f2 := NewFaultInjector(42, 0.5)
+	for i := 0; i < 200; i++ {
+		host := fmt.Sprintf("site%d.com", i)
+		if f1.Unreachable(host) != f2.Unreachable(host) {
+			t.Fatalf("injector not deterministic for %s", host)
+		}
+	}
+}
+
+func TestFaultInjectorRate(t *testing.T) {
+	f := NewFaultInjector(7, 0.033)
+	const n = 20000
+	failed := 0
+	for i := 0; i < n; i++ {
+		if f.Unreachable(fmt.Sprintf("host%d.com", i)) {
+			failed++
+		}
+	}
+	rate := float64(failed) / n
+	if rate < 0.025 || rate > 0.042 {
+		t.Fatalf("failure rate = %.4f, want ~0.033", rate)
+	}
+}
+
+func TestFaultInjectorSameDomainSameFate(t *testing.T) {
+	f := NewFaultInjector(1, 0.5)
+	for i := 0; i < 100; i++ {
+		d := fmt.Sprintf("dom%d.com", i)
+		if f.Unreachable("www."+d) != f.Unreachable("shop."+d) {
+			t.Fatalf("subdomains of %s disagree", d)
+		}
+	}
+}
+
+func TestFaultInjectorErrorFlavours(t *testing.T) {
+	f := NewFaultInjector(3, 1.0) // everything fails
+	flavours := map[string]bool{}
+	for i := 0; i < 60; i++ {
+		err := f.Check(fmt.Sprintf("h%d.com", i))
+		if err == nil {
+			t.Fatal("rate 1.0 must fail")
+		}
+		var op *net.OpError
+		if !errors.As(err, &op) {
+			t.Fatalf("error %v is not *net.OpError", err)
+		}
+		switch {
+		case errors.Is(err, syscall.ECONNREFUSED):
+			flavours["refused"] = true
+		case errors.Is(err, syscall.ECONNRESET):
+			flavours["reset"] = true
+		default:
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				flavours["timeout"] = true
+			} else {
+				t.Fatalf("unexpected flavour: %v", err)
+			}
+		}
+	}
+	if len(flavours) != 3 {
+		t.Fatalf("expected all three error flavours, got %v", flavours)
+	}
+}
+
+func TestFaultInjectorZeroRate(t *testing.T) {
+	f := NewFaultInjector(3, 0)
+	if f.Unreachable("any.com") || f.Check("any.com") != nil {
+		t.Fatal("zero rate must never fail")
+	}
+}
+
+func TestNetworkFaultIntegration(t *testing.T) {
+	n := New()
+	n.SetFaults(NewFaultInjector(9, 1.0))
+	n.Handle("up.com", okHandler("ok"))
+	_, err := n.Client().Get("http://up.com/")
+	if err == nil {
+		t.Fatal("expected injected failure")
+	}
+	if n.FailureCount() != 1 || n.RequestCount() != 1 {
+		t.Fatalf("counters: failures=%d requests=%d", n.FailureCount(), n.RequestCount())
+	}
+}
+
+func TestVirtualClockAdvances(t *testing.T) {
+	c := NewVirtualClock()
+	t0 := c.Now()
+	if !t0.Equal(Epoch) {
+		t.Fatalf("start = %v, want %v", t0, Epoch)
+	}
+	c.Advance(5 * time.Second)
+	c.Advance(-time.Hour) // ignored
+	if got := c.Now().Sub(t0); got != 5*time.Second {
+		t.Fatalf("advanced %v, want 5s", got)
+	}
+}
+
+func TestLatencyAdvancesClock(t *testing.T) {
+	n := New()
+	n.SetLatency(NewLatencyModel(1, 3.5, 0.5)) // ~33ms median
+	n.Handle("a.com", okHandler("x"))
+	before := n.Clock().Now()
+	for i := 0; i < 10; i++ {
+		resp, err := n.Client().Get("http://a.com/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if !n.Clock().Now().After(before) {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestObserverSeesRequests(t *testing.T) {
+	n := New()
+	n.Handle("a.com", okHandler("x"))
+	var mu sync.Mutex
+	var seen []string
+	n.Observe(func(r *http.Request) {
+		mu.Lock()
+		seen = append(seen, r.URL.String())
+		mu.Unlock()
+	})
+	resp, err := n.Client().Get("http://a.com/p?q=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(seen) != 1 || seen[0] != "http://a.com/p?q=1" {
+		t.Fatalf("observer saw %v", seen)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	n := New()
+	for i := 0; i < 10; i++ {
+		n.Handle(fmt.Sprintf("s%d.com", i), okHandler("ok"))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := n.Client()
+			for i := 0; i < 10; i++ {
+				resp, err := c.Get(fmt.Sprintf("http://s%d.com/", i))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n.RequestCount() != 40 {
+		t.Fatalf("RequestCount = %d, want 40", n.RequestCount())
+	}
+}
+
+func TestHostsSorted(t *testing.T) {
+	n := New()
+	n.Handle("z.com", okHandler(""))
+	n.Handle("a.com", okHandler(""))
+	hosts := n.Hosts()
+	if len(hosts) != 2 || hosts[0] != "a.com" || hosts[1] != "z.com" {
+		t.Fatalf("Hosts = %v", hosts)
+	}
+}
+
+func TestHostPortStripped(t *testing.T) {
+	n := New()
+	n.Handle("a.com", okHandler("ok"))
+	resp, err := n.Client().Get("http://a.com:8080/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := ReadBody(resp)
+	if body != "ok" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestFaultExemption(t *testing.T) {
+	f := NewFaultInjector(1, 1.0) // everything fails...
+	f.Exempt("cdn.tracker.net", "bare-host")
+	if f.Unreachable("tracker.net") || f.Unreachable("x.tracker.net") {
+		t.Fatal("exempted registered domain still failing")
+	}
+	if f.Unreachable("bare-host") {
+		t.Fatal("exempted bare host still failing")
+	}
+	if !f.Unreachable("other.com") {
+		t.Fatal("non-exempt domain should fail at rate 1.0")
+	}
+}

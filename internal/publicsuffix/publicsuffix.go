@@ -1,0 +1,164 @@
+// Package publicsuffix computes registered domains (eTLD+1), the unit of
+// "first-party context" throughout the paper: a token has been smuggled
+// when it crosses registered-domain boundaries, and partitioned storage is
+// keyed by registered domain.
+//
+// The rule engine implements the subset of the Public Suffix List algorithm
+// that the measurement needs: normal rules, wildcard rules (*.ck) and
+// exception rules (!www.ck), with longest-match-wins semantics. The
+// built-in rule set covers the suffixes used by the synthetic web plus the
+// common real-world ones, and callers can supply their own list.
+package publicsuffix
+
+import (
+	"strings"
+)
+
+// List is a compiled set of public-suffix rules.
+type List struct {
+	rules      map[string]bool // exact suffix rules
+	wildcards  map[string]bool // "*.<suffix>" rules, keyed by <suffix>
+	exceptions map[string]bool // "!<domain>" rules, keyed by <domain>
+}
+
+// defaultRules covers the TLDs and multi-label suffixes that appear in the
+// synthetic web and in the paper's redirector tables (e.g.
+// kuwosm.world.tmall.com is under .com; secure.jbs.elsevierhealth.com too).
+var defaultRules = []string{
+	"com", "net", "org", "io", "co", "info", "biz", "dev", "app",
+	"edu", "gov", "mil", "int",
+	"ru", "de", "fr", "uk", "jp", "cn", "br", "in", "ca", "au", "link",
+	"world", "shop", "store", "news", "media", "blog", "site", "online",
+	"ads", "cloud", "tech", "ai", "tv", "me",
+	// Multi-label suffixes.
+	"co.uk", "org.uk", "ac.uk", "gov.uk",
+	"com.au", "net.au", "org.au",
+	"co.jp", "ne.jp", "or.jp",
+	"com.br", "com.cn", "com.ru",
+	// Wildcard and exception examples per the PSL algorithm.
+	"*.ck", "!www.ck",
+}
+
+var defaultList = MustCompile(defaultRules)
+
+// Default returns the built-in list.
+func Default() *List { return defaultList }
+
+// MustCompile compiles rules, panicking on a malformed rule. Rules use PSL
+// syntax: "suffix", "*.suffix" or "!domain".
+func MustCompile(rules []string) *List {
+	l, err := Compile(rules)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Compile compiles rules into a List.
+func Compile(rules []string) (*List, error) {
+	l := &List{
+		rules:      make(map[string]bool),
+		wildcards:  make(map[string]bool),
+		exceptions: make(map[string]bool),
+	}
+	for _, r := range rules {
+		r = strings.ToLower(strings.TrimSpace(r))
+		if r == "" || strings.HasPrefix(r, "//") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(r, "!"):
+			l.exceptions[r[1:]] = true
+		case strings.HasPrefix(r, "*."):
+			l.wildcards[r[2:]] = true
+		default:
+			l.rules[r] = true
+		}
+	}
+	return l, nil
+}
+
+// PublicSuffix returns the public suffix of host. Per the PSL algorithm, a
+// host that matches no rule has its last label as its public suffix.
+func (l *List) PublicSuffix(host string) string {
+	host = normalize(host)
+	if host == "" {
+		return ""
+	}
+	labels := strings.Split(host, ".")
+	// Find the longest matching rule, scanning suffixes from longest to
+	// shortest so the first hit wins.
+	for i := 0; i < len(labels); i++ {
+		candidate := strings.Join(labels[i:], ".")
+		if l.exceptions[candidate] {
+			// Exception rules mark the candidate itself as registrable:
+			// its public suffix is one label shorter.
+			return strings.Join(labels[i+1:], ".")
+		}
+		if l.rules[candidate] {
+			return candidate
+		}
+		// Wildcard *.<base> matches <label>.<base>.
+		if i+1 < len(labels) {
+			base := strings.Join(labels[i+1:], ".")
+			if l.wildcards[base] {
+				return candidate
+			}
+		}
+	}
+	return labels[len(labels)-1]
+}
+
+// RegisteredDomain returns the eTLD+1 for host: the public suffix plus one
+// label. It returns "" if host is itself a public suffix (nothing is
+// registrable) or empty.
+func (l *List) RegisteredDomain(host string) string {
+	host = normalize(host)
+	if host == "" {
+		return ""
+	}
+	suffix := l.PublicSuffix(host)
+	if suffix == host || suffix == "" {
+		return ""
+	}
+	rest := strings.TrimSuffix(host, "."+suffix)
+	labels := strings.Split(rest, ".")
+	return labels[len(labels)-1] + "." + suffix
+}
+
+// SameSite reports whether two hosts share a registered domain — the
+// paper's definition of staying inside one first-party context. Hosts that
+// have no registrable domain are only same-site if identical.
+func (l *List) SameSite(a, b string) bool {
+	ra, rb := l.RegisteredDomain(a), l.RegisteredDomain(b)
+	if ra == "" || rb == "" {
+		return normalize(a) == normalize(b)
+	}
+	return ra == rb
+}
+
+// RegisteredDomain applies the default list.
+func RegisteredDomain(host string) string { return defaultList.RegisteredDomain(host) }
+
+// SameSite applies the default list.
+func SameSite(a, b string) bool { return defaultList.SameSite(a, b) }
+
+// normalize lowercases, strips a trailing dot and any port.
+func normalize(host string) string {
+	host = strings.ToLower(strings.TrimSpace(host))
+	if i := strings.LastIndexByte(host, ':'); i >= 0 && !strings.Contains(host[i+1:], ".") {
+		// Only strip when the tail looks like a port, not an IPv6 segment
+		// (the synthetic web never uses IPv6 hosts, but be safe).
+		allDigits := len(host[i+1:]) > 0
+		for _, c := range host[i+1:] {
+			if c < '0' || c > '9' {
+				allDigits = false
+				break
+			}
+		}
+		if allDigits {
+			host = host[:i]
+		}
+	}
+	return strings.TrimSuffix(host, ".")
+}

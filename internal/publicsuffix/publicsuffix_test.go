@@ -1,0 +1,113 @@
+package publicsuffix
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPublicSuffix(t *testing.T) {
+	cases := []struct{ host, want string }{
+		{"example.com", "com"},
+		{"a.b.example.com", "com"},
+		{"example.co.uk", "co.uk"},
+		{"www.example.co.uk", "co.uk"},
+		{"kuwosm.world.tmall.com", "com"},
+		{"btds.zog.link", "link"},
+		{"com", "com"},
+		{"unknown-tld-host.zz", "zz"}, // no rule: last label
+		{"foo.bar.ck", "bar.ck"},      // wildcard *.ck
+		{"www.ck", "ck"},              // exception !www.ck
+	}
+	for _, c := range cases {
+		if got := Default().PublicSuffix(c.host); got != c.want {
+			t.Errorf("PublicSuffix(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+}
+
+func TestRegisteredDomain(t *testing.T) {
+	cases := []struct{ host, want string }{
+		{"example.com", "example.com"},
+		{"a.b.example.com", "example.com"},
+		{"adclick.g.doubleclick.net", "doubleclick.net"},
+		{"www.example.co.uk", "example.co.uk"},
+		{"com", ""}, // bare public suffix: nothing registrable
+		{"", ""},
+		{"foo.bar.ck", "foo.bar.ck"}, // *.ck: bar.ck is the suffix... foo.bar.ck registrable
+		{"a.foo.bar.ck", "foo.bar.ck"},
+		{"www.ck", "www.ck"}, // exception: www.ck itself is registrable
+		{"sub.www.ck", "www.ck"},
+		{"Example.COM.", "example.com"},     // normalization
+		{"example.com:8080", "example.com"}, // port stripping
+	}
+	for _, c := range cases {
+		if got := RegisteredDomain(c.host); got != c.want {
+			t.Errorf("RegisteredDomain(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+}
+
+func TestSameSite(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"a.example.com", "b.example.com", true},
+		{"example.com", "example.com", true},
+		{"example.com", "example.net", false},
+		{"foo.co.uk", "bar.co.uk", false},
+		{"com", "com", true}, // degenerate: identical non-registrable
+		{"com", "net", false},
+	}
+	for _, c := range cases {
+		if got := SameSite(c.a, c.b); got != c.want {
+			t.Errorf("SameSite(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCustomList(t *testing.T) {
+	l := MustCompile([]string{"internal", "corp.internal"})
+	if got := l.RegisteredDomain("svc.team.corp.internal"); got != "team.corp.internal" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCompileSkipsCommentsAndBlanks(t *testing.T) {
+	l, err := Compile([]string{"// comment", "", "  com  "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.RegisteredDomain("x.com"); got != "x.com" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// Property: the registered domain of a host is always a suffix of the host
+// and never empty for hosts with >= 2 labels ending in a known TLD.
+func TestRegisteredDomainSuffixProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		labels := []string{"aa", "bb", "cc", "dd"}
+		host := labels[a%4] + "." + labels[b%4] + ".example.com"
+		rd := RegisteredDomain(host)
+		return rd == "example.com"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SameSite is symmetric and reflexive.
+func TestSameSiteSymmetric(t *testing.T) {
+	hosts := []string{"a.x.com", "b.x.com", "x.com", "y.net", "z.co.uk", "com"}
+	for _, a := range hosts {
+		if !SameSite(a, a) {
+			t.Errorf("SameSite(%q, %q) not reflexive", a, a)
+		}
+		for _, b := range hosts {
+			if SameSite(a, b) != SameSite(b, a) {
+				t.Errorf("SameSite(%q, %q) not symmetric", a, b)
+			}
+		}
+	}
+}

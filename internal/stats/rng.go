@@ -1,0 +1,191 @@
+// Package stats provides the deterministic randomness and statistical
+// machinery CrumbCruncher relies on: a splittable seeded RNG, weighted and
+// Zipf samplers, proportions, and the two-proportion Z test used by the
+// fingerprinting experiment (paper §3.5).
+//
+// Everything in this package is pure computation: given the same inputs it
+// produces the same outputs, which is the foundation of CrumbCruncher's
+// end-to-end reproducibility.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// SplitMix64 is used only for deriving independent sub-seeds; the actual
+// random streams are math/rand PCG-quality sources seeded from it.
+func splitmix64(state uint64) (next uint64, out uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// DeriveSeed deterministically mixes a parent seed with a label so that
+// independent subsystems (world generation, ad rotation, fault injection,
+// per-crawler fallback choices) get decorrelated streams. The label keeps
+// derivations stable across code reorderings: adding a new consumer never
+// perturbs existing streams.
+func DeriveSeed(parent int64, label string) int64 {
+	state := uint64(parent) ^ 0x6a09e667f3bcc908
+	var out uint64
+	for i := 0; i < len(label); i++ {
+		state ^= uint64(label[i]) << (uint(i%8) * 8)
+		state, out = splitmix64(state)
+	}
+	state, out = splitmix64(state)
+	_ = state
+	return int64(out)
+}
+
+// RNG is a deterministic random source. It wraps math/rand with a
+// convenience layer (splitting, weighted choice) and is NOT safe for
+// concurrent use; split one child per goroutine instead.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns an RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Splitter derives independent RNGs from a root seed by label.
+type Splitter struct {
+	seed int64
+}
+
+// NewSplitter returns a Splitter rooted at seed.
+func NewSplitter(seed int64) *Splitter { return &Splitter{seed: seed} }
+
+// Seed returns the deterministic sub-seed for label.
+func (s *Splitter) Seed(label string) int64 { return DeriveSeed(s.seed, label) }
+
+// RNG returns a fresh RNG for label.
+func (s *Splitter) RNG(label string) *RNG { return NewRNG(s.Seed(label)) }
+
+// Child returns a Splitter namespaced under label, for hierarchical
+// derivation (e.g. "walk/17/step/3").
+func (s *Splitter) Child(label string) *Splitter {
+	return &Splitter{seed: s.Seed(label)}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Uint64 returns a uniform uint64.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Pick returns a uniformly chosen element of xs. It panics on an empty
+// slice.
+func Pick[T any](g *RNG, xs []T) T {
+	return xs[g.Intn(len(xs))]
+}
+
+// WeightedIndex returns an index into weights chosen with probability
+// proportional to the weight. Zero or negative weights are never chosen.
+// It panics if no weight is positive.
+func (g *RNG) WeightedIndex(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("stats: WeightedIndex requires a positive weight")
+	}
+	x := g.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	// Floating-point slack: return the last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	panic("unreachable")
+}
+
+// Geometric samples a geometric count with success probability p: the
+// number of failures before the first success, capped at max. It is used
+// for redirect-chain lengths.
+func (g *RNG) Geometric(p float64, max int) int {
+	if p <= 0 {
+		return max
+	}
+	if p >= 1 {
+		return 0
+	}
+	n := 0
+	for n < max && g.Float64() >= p {
+		n++
+	}
+	return n
+}
+
+// Token returns a random lowercase hex token of n characters, the shape of
+// a typical smuggled UID.
+func (g *RNG) Token(n int) string {
+	const hexdigits = "0123456789abcdef"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = hexdigits[g.Intn(16)]
+	}
+	return string(b)
+}
+
+// AlphaNum returns a random alphanumeric string of n characters.
+func (g *RNG) AlphaNum(n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[g.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// Normal returns a normally distributed float64 with the given mean and
+// standard deviation.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return g.r.NormFloat64()*stddev + mean
+}
+
+// LogNormal returns a log-normally distributed value whose underlying
+// normal has the given mu and sigma. Used for latency simulation.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(g.r.NormFloat64()*sigma + mu)
+}

@@ -1,0 +1,352 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(42, "world")
+	b := DeriveSeed(42, "world")
+	if a != b {
+		t.Fatalf("DeriveSeed not deterministic: %d != %d", a, b)
+	}
+}
+
+func TestDeriveSeedLabelSeparation(t *testing.T) {
+	labels := []string{"world", "walk/0", "walk/1", "faults", "ads", ""}
+	seen := make(map[int64]string)
+	for _, l := range labels {
+		s := DeriveSeed(7, l)
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("labels %q and %q collide on seed %d", prev, l, s)
+		}
+		seen[s] = l
+	}
+}
+
+func TestDeriveSeedParentSeparation(t *testing.T) {
+	if DeriveSeed(1, "x") == DeriveSeed(2, "x") {
+		t.Fatal("different parents produced same derived seed")
+	}
+}
+
+func TestSplitterHierarchy(t *testing.T) {
+	s := NewSplitter(99)
+	c1 := s.Child("walks").Seed("0")
+	c2 := s.Child("walks").Seed("0")
+	if c1 != c2 {
+		t.Fatal("Child derivation not deterministic")
+	}
+	if s.Child("walks").Seed("0") == s.Child("faults").Seed("0") {
+		t.Fatal("sibling children collide")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(5), NewRNG(5)
+	for i := 0; i < 100; i++ {
+		if a.Intn(1000) != b.Intn(1000) {
+			t.Fatalf("stream diverged at draw %d", i)
+		}
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 50; i++ {
+		if g.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !g.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	g := NewRNG(2)
+	const trials = 20000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if p < 0.27 || p > 0.33 {
+		t.Fatalf("Bool(0.3) frequency = %.3f, want ~0.3", p)
+	}
+}
+
+func TestWeightedIndex(t *testing.T) {
+	g := NewRNG(3)
+	weights := []float64{0, 1, 3, 0}
+	counts := make([]int, len(weights))
+	for i := 0; i < 40000; i++ {
+		counts[g.WeightedIndex(weights)]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Fatalf("zero-weight index chosen: %v", counts)
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio = %.2f, want ~3", ratio)
+	}
+}
+
+func TestWeightedIndexPanicsWithoutPositiveWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).WeightedIndex([]float64{0, -1})
+}
+
+func TestGeometric(t *testing.T) {
+	g := NewRNG(4)
+	const trials = 30000
+	var sum int
+	for i := 0; i < trials; i++ {
+		n := g.Geometric(0.5, 100)
+		if n < 0 || n > 100 {
+			t.Fatalf("Geometric out of range: %d", n)
+		}
+		sum += n
+	}
+	mean := float64(sum) / trials
+	// Mean of geometric (failures before success) with p=0.5 is 1.
+	if mean < 0.9 || mean > 1.1 {
+		t.Fatalf("Geometric mean = %.3f, want ~1", mean)
+	}
+	if g.Geometric(0, 7) != 7 {
+		t.Fatal("Geometric(0, max) should return max")
+	}
+	if g.Geometric(1, 7) != 0 {
+		t.Fatal("Geometric(1, max) should return 0")
+	}
+}
+
+func TestTokenShape(t *testing.T) {
+	g := NewRNG(6)
+	tok := g.Token(32)
+	if len(tok) != 32 {
+		t.Fatalf("Token length = %d, want 32", len(tok))
+	}
+	for _, c := range tok {
+		if !((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) {
+			t.Fatalf("Token contains non-hex char %q", c)
+		}
+	}
+}
+
+func TestAlphaNumShape(t *testing.T) {
+	g := NewRNG(6)
+	s := g.AlphaNum(20)
+	if len(s) != 20 {
+		t.Fatalf("AlphaNum length = %d, want 20", len(s))
+	}
+}
+
+func TestZipfBasics(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	if z.N() != 100 {
+		t.Fatalf("N = %d", z.N())
+	}
+	g := NewRNG(8)
+	counts := make([]int, 101)
+	for i := 0; i < 50000; i++ {
+		r := z.Rank(g)
+		if r < 1 || r > 100 {
+			t.Fatalf("rank out of range: %d", r)
+		}
+		counts[r]++
+	}
+	if counts[1] <= counts[10] {
+		t.Fatalf("rank 1 (%d draws) should dominate rank 10 (%d draws)", counts[1], counts[10])
+	}
+	// Theoretical ratio P(1)/P(2) = 2 for s=1.
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("P(1)/P(2) = %.2f, want ~2", ratio)
+	}
+}
+
+func TestZipfProbabilitiesSumToOne(t *testing.T) {
+	z := NewZipf(50, 0.8)
+	var sum float64
+	for r := 1; r <= 50; r++ {
+		p := z.P(r)
+		if p <= 0 {
+			t.Fatalf("P(%d) = %g, want > 0", r, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %g", sum)
+	}
+	if z.P(0) != 0 || z.P(51) != 0 {
+		t.Fatal("out-of-range ranks should have probability 0")
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	for r := 1; r <= 10; r++ {
+		if math.Abs(z.P(r)-0.1) > 1e-9 {
+			t.Fatalf("s=0 P(%d) = %g, want 0.1", r, z.P(r))
+		}
+	}
+}
+
+func TestTwoProportionZTestKnownValue(t *testing.T) {
+	// 52/100 vs 44/100: z should be ~1.13, not significant at 0.05.
+	res, err := TwoProportionZTest(
+		Proportion{Successes: 52, Trials: 100},
+		Proportion{Successes: 44, Trials: 100},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Z-1.1314) > 0.01 {
+		t.Fatalf("Z = %.4f, want ~1.1314", res.Z)
+	}
+	if res.Significant(0.05) {
+		t.Fatal("should not be significant at 0.05")
+	}
+	if res.Diff <= 0 {
+		t.Fatalf("Diff = %g, want > 0", res.Diff)
+	}
+}
+
+func TestTwoProportionZTestSignificant(t *testing.T) {
+	res, err := TwoProportionZTest(
+		Proportion{Successes: 700, Trials: 1000},
+		Proportion{Successes: 500, Trials: 1000},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.001) {
+		t.Fatalf("70%% vs 50%% with n=1000 must be significant; p=%g", res.PValue)
+	}
+}
+
+func TestTwoProportionZTestDegenerate(t *testing.T) {
+	if _, err := TwoProportionZTest(Proportion{}, Proportion{Successes: 1, Trials: 2}); err == nil {
+		t.Fatal("expected error for empty group")
+	}
+	if _, err := TwoProportionZTest(
+		Proportion{Successes: 5, Trials: 5},
+		Proportion{Successes: 3, Trials: 3},
+	); err == nil {
+		t.Fatal("expected error for pooled p = 1")
+	}
+}
+
+func TestStdNormalCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.96, 0.975},
+		{-1.96, 0.025},
+		{3, 0.99865},
+	}
+	for _, c := range cases {
+		got := StdNormalCDF(c.x)
+		if math.Abs(got-c.want) > 0.001 {
+			t.Errorf("StdNormalCDF(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("unexpected summary: %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-9 {
+		t.Fatalf("Stddev = %g", s.Stddev)
+	}
+	if (Summarize(nil) != Summary{}) {
+		t.Fatal("empty sample should yield zero summary")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if q := Quantile(sorted, 0); q != 10 {
+		t.Fatalf("q0 = %g", q)
+	}
+	if q := Quantile(sorted, 1); q != 40 {
+		t.Fatalf("q1 = %g", q)
+	}
+	if q := Quantile(sorted, 0.5); q != 25 {
+		t.Fatalf("median = %g, want 25", q)
+	}
+}
+
+func TestCounterTopOrdering(t *testing.T) {
+	c := NewCounter()
+	c.Add("b", 3)
+	c.Add("a", 3)
+	c.Inc("z")
+	top := c.Top(0)
+	if len(top) != 3 {
+		t.Fatalf("len = %d", len(top))
+	}
+	if top[0].Key != "a" || top[1].Key != "b" || top[2].Key != "z" {
+		t.Fatalf("tie-break ordering wrong: %v", top)
+	}
+	if got := c.Top(1); len(got) != 1 || got[0].Key != "a" {
+		t.Fatalf("Top(1) = %v", got)
+	}
+	if c.Total() != 7 || c.Len() != 3 || c.Count("b") != 3 {
+		t.Fatalf("counter accessors wrong: total=%d len=%d", c.Total(), c.Len())
+	}
+}
+
+// Property: quantiles are monotone in q for any sample.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs) // sorts internally; rebuild sorted here
+		_ = s
+		sorted := append([]float64(nil), xs...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		a := math.Abs(q1)
+		b := math.Abs(q2)
+		a -= math.Floor(a)
+		b -= math.Floor(b)
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(sorted, a) <= Quantile(sorted, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DeriveSeed is a pure function.
+func TestDeriveSeedPureProperty(t *testing.T) {
+	f := func(seed int64, label string) bool {
+		return DeriveSeed(seed, label) == DeriveSeed(seed, label)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields the
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	mean := sum / float64(len(sorted))
+	var ss float64
+	for _, x := range sorted {
+		d := x - mean
+		ss += d * d
+	}
+	var sd float64
+	if len(sorted) > 1 {
+		sd = math.Sqrt(ss / float64(len(sorted)-1))
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		Stddev: sd,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: Quantile(sorted, 0.5),
+		P90:    Quantile(sorted, 0.9),
+		P99:    Quantile(sorted, 0.99),
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an already-sorted sample
+// using linear interpolation. It panics on an empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Counter tallies string keys and reports them in rank order. It is the
+// workhorse behind every "top N" table and figure in the paper.
+type Counter struct {
+	counts map[string]int
+}
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter { return &Counter{counts: make(map[string]int)} }
+
+// Add increments key by n.
+func (c *Counter) Add(key string, n int) { c.counts[key] += n }
+
+// Inc increments key by one.
+func (c *Counter) Inc(key string) { c.counts[key]++ }
+
+// Count returns the tally for key.
+func (c *Counter) Count(key string) int { return c.counts[key] }
+
+// Len returns the number of distinct keys.
+func (c *Counter) Len() int { return len(c.counts) }
+
+// Total returns the sum of all tallies.
+func (c *Counter) Total() int {
+	var t int
+	for _, n := range c.counts {
+		t += n
+	}
+	return t
+}
+
+// Entry is a key with its tally.
+type Entry struct {
+	Key   string
+	Count int
+}
+
+// Top returns the n highest-count entries, ties broken by key so output is
+// deterministic. n <= 0 returns all entries.
+func (c *Counter) Top(n int) []Entry {
+	entries := make([]Entry, 0, len(c.counts))
+	for k, v := range c.counts {
+		entries = append(entries, Entry{Key: k, Count: v})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Key < entries[j].Key
+	})
+	if n > 0 && n < len(entries) {
+		entries = entries[:n]
+	}
+	return entries
+}

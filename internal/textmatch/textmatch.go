@@ -1,0 +1,90 @@
+// Package textmatch implements the Ratcliff/Obershelp pattern-matching
+// algorithm ("gestalt pattern matching"). Prior work on UID detection
+// (Acar et al., Englehardt et al., Koop et al. — paper §8.1) treated two
+// tokens as "the same" if their Ratcliff/Obershelp similarity exceeded a
+// threshold; CrumbCruncher deliberately requires exact equality instead.
+// We implement the algorithm so the ablation benchmarks can compare the two
+// strategies.
+package textmatch
+
+// Similarity returns the Ratcliff/Obershelp similarity of a and b in
+// [0, 1]: twice the total length of matching characters (found by
+// recursively locating the longest common substring and matching the
+// regions to its left and right) divided by the combined length. Two empty
+// strings are defined to be identical (similarity 1).
+func Similarity(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	m := matchTotal(a, b)
+	return 2 * float64(m) / float64(len(a)+len(b))
+}
+
+// SameWithin reports whether the similarity of a and b is at least
+// 1 - slack. Prior work used slack values of 0.33 and 0.45; slack 0 is
+// exact equality (up to Ratcliff/Obershelp's notion, which equals string
+// equality at similarity 1).
+func SameWithin(a, b string, slack float64) bool {
+	return Similarity(a, b) >= 1-slack
+}
+
+// matchTotal returns the total number of matching characters per
+// Ratcliff/Obershelp, using an explicit stack instead of recursion so that
+// pathological inputs cannot overflow the goroutine stack.
+func matchTotal(a, b string) int {
+	type region struct {
+		aLo, aHi, bLo, bHi int
+	}
+	total := 0
+	stack := []region{{0, len(a), 0, len(b)}}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if r.aHi-r.aLo == 0 || r.bHi-r.bLo == 0 {
+			continue
+		}
+		ai, bi, n := longestCommonSubstring(a[r.aLo:r.aHi], b[r.bLo:r.bHi])
+		if n == 0 {
+			continue
+		}
+		total += n
+		stack = append(stack,
+			region{r.aLo, r.aLo + ai, r.bLo, r.bLo + bi},
+			region{r.aLo + ai + n, r.aHi, r.bLo + bi + n, r.bHi},
+		)
+	}
+	return total
+}
+
+// longestCommonSubstring returns the starting offsets in a and b and the
+// length of their longest common substring, preferring the earliest
+// occurrence in a (then b) on ties, which matches the classic
+// implementation's determinism.
+func longestCommonSubstring(a, b string) (ai, bi, n int) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 0, 0
+	}
+	// Dynamic programming over suffix lengths with two rolling rows.
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	bestLen, bestA, bestB := 0, 0, 0
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > bestLen {
+					bestLen = cur[j]
+					bestA = i - cur[j]
+					bestB = j - cur[j]
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return bestA, bestB, bestLen
+}

@@ -1,0 +1,115 @@
+package textmatch
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimilarityIdentical(t *testing.T) {
+	for _, s := range []string{"", "a", "abcdef", "a1b2c3d4"} {
+		if got := Similarity(s, s); got != 1 {
+			t.Errorf("Similarity(%q, %q) = %g, want 1", s, s, got)
+		}
+	}
+}
+
+func TestSimilarityDisjoint(t *testing.T) {
+	if got := Similarity("aaaa", "bbbb"); got != 0 {
+		t.Fatalf("got %g, want 0", got)
+	}
+	if got := Similarity("abc", ""); got != 0 {
+		t.Fatalf("empty vs non-empty = %g, want 0", got)
+	}
+}
+
+func TestSimilarityClassicExample(t *testing.T) {
+	// The canonical Ratcliff/Obershelp example: WIKIMEDIA vs WIKIMANIA.
+	// LCS "WIKIM" (5), then right regions "EDIA" vs "ANIA" contribute
+	// "IA" (2): 7 matching chars over 18 — the same value Python's
+	// difflib.SequenceMatcher.ratio() computes.
+	got := Similarity("WIKIMEDIA", "WIKIMANIA")
+	want := 2.0 * 7 / 18
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %g, want %g", got, want)
+	}
+}
+
+func TestSimilarityPartial(t *testing.T) {
+	// One differing character out of 8: 2*7/16.
+	got := Similarity("abcdefgh", "abcdefgX")
+	want := 2.0 * 7 / 16
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %g, want %g", got, want)
+	}
+}
+
+func TestSameWithin(t *testing.T) {
+	// UIDs that share a long prefix but differ in a suffix — the pattern
+	// prior work's 33% slack would conflate and CrumbCruncher would not.
+	a := "user-aaaa-bbbb-cccc-0001"
+	b := "user-aaaa-bbbb-cccc-0002"
+	if !SameWithin(a, b, 0.33) {
+		t.Fatal("33% slack should treat near-identical tokens as same")
+	}
+	if SameWithin(a, b, 0) {
+		t.Fatal("zero slack must require exact equality")
+	}
+	if !SameWithin(a, a, 0) {
+		t.Fatal("identical strings are the same at zero slack")
+	}
+}
+
+func TestLongestCommonSubstring(t *testing.T) {
+	ai, bi, n := longestCommonSubstring("xxhelloyy", "aahellobb")
+	if n != 5 || ai != 2 || bi != 2 {
+		t.Fatalf("got ai=%d bi=%d n=%d", ai, bi, n)
+	}
+	_, _, n = longestCommonSubstring("", "abc")
+	if n != 0 {
+		t.Fatalf("empty input n = %d", n)
+	}
+}
+
+// Property: similarity is bounded in [0, 1], and equals 1 exactly for
+// identical inputs. (Ratcliff/Obershelp is not perfectly symmetric: with
+// several equally long common substrings the tie-break can split the
+// regions differently depending on argument order — the same behaviour as
+// Python's difflib — so we do not assert symmetry.)
+func TestSimilarityProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		// Bound input size to keep the O(n*m) DP quick under quick.Check.
+		if len(a) > 60 {
+			a = a[:60]
+		}
+		if len(b) > 60 {
+			b = b[:60]
+		}
+		s := Similarity(a, b)
+		return s >= 0 && s <= 1 && Similarity(a, a) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: appending a shared suffix can only maintain or increase the
+// number of matched characters.
+func TestSimilaritySharedSuffixProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		suffix := strings.Repeat("z", 10)
+		before := Similarity(a, b) * float64(len(a)+len(b)) / 2
+		after := Similarity(a+suffix, b+suffix) * float64(len(a)+len(b)+20) / 2
+		return after >= before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

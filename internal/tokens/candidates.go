@@ -1,0 +1,205 @@
+package tokens
+
+import (
+	"net/url"
+	"sort"
+
+	"crumbcruncher/internal/crawler"
+	"crumbcruncher/internal/publicsuffix"
+)
+
+// PathNode is one hop of a navigation path.
+type PathNode struct {
+	URL    string
+	Host   string // FQDN
+	Domain string // registered domain
+	// Tokens are the leaf tokens extracted from the hop URL's query
+	// parameters.
+	Tokens []Pair
+}
+
+// Path is one crawler's navigation path for one step: the originator,
+// every redirector hop and the destination.
+type Path struct {
+	Walk    int
+	Step    int
+	Crawler string
+	Profile string
+	Nodes   []PathNode
+}
+
+// Originator returns the path's first node.
+func (p *Path) Originator() PathNode { return p.Nodes[0] }
+
+// Destination returns the path's last node.
+func (p *Path) Destination() PathNode { return p.Nodes[len(p.Nodes)-1] }
+
+// Redirectors returns the middle nodes.
+func (p *Path) Redirectors() []PathNode {
+	if len(p.Nodes) <= 2 {
+		return nil
+	}
+	return p.Nodes[1 : len(p.Nodes)-1]
+}
+
+// URLKey returns the path's identity as a full-URL sequence (the paper's
+// "URL path").
+func (p *Path) URLKey() string {
+	key := ""
+	for _, n := range p.Nodes {
+		key += n.URL + " → "
+	}
+	return key
+}
+
+// DomainKey returns the path's identity as a registered-domain sequence
+// (the paper's "domain path").
+func (p *Path) DomainKey() string {
+	key := ""
+	for _, n := range p.Nodes {
+		key += n.Domain + " → "
+	}
+	return key
+}
+
+// nodeFrom parses a URL into a PathNode with extracted query tokens.
+func nodeFrom(raw string) (PathNode, bool) {
+	u, err := url.Parse(raw)
+	if err != nil || u.Host == "" {
+		return PathNode{}, false
+	}
+	n := PathNode{URL: raw, Host: u.Hostname(), Domain: regDomain(u.Hostname())}
+	for name, vs := range u.Query() {
+		for _, v := range vs {
+			n.Tokens = append(n.Tokens, Extract(name, v)...)
+		}
+	}
+	sort.Slice(n.Tokens, func(i, j int) bool {
+		if n.Tokens[i].Name != n.Tokens[j].Name {
+			return n.Tokens[i].Name < n.Tokens[j].Name
+		}
+		return n.Tokens[i].Value < n.Tokens[j].Value
+	})
+	return n, true
+}
+
+func regDomain(host string) string {
+	if rd := publicsuffix.RegisteredDomain(host); rd != "" {
+		return rd
+	}
+	return host
+}
+
+// PathsFromDataset reconstructs every navigation path in the crawl: one
+// per (walk, step, crawler) whose click produced at least one hop. Data
+// from unsynchronized (divergent) steps is included, as in the paper
+// (§3.3: "We still include data from this unsynchronized step in our
+// analyses").
+func PathsFromDataset(ds *crawler.Dataset) []*Path {
+	names := ds.Crawlers
+	if len(names) == 0 {
+		names = crawler.AllCrawlers
+	}
+	var out []*Path
+	for _, w := range ds.Walks {
+		for _, s := range w.Steps {
+			for _, name := range names {
+				rec := s.Records[name]
+				if rec == nil || rec.StartURL == "" || len(rec.NavChain) == 0 {
+					continue
+				}
+				p := &Path{Walk: w.Index, Step: s.Index, Crawler: name, Profile: rec.Profile}
+				if n, ok := nodeFrom(rec.StartURL); ok {
+					p.Nodes = append(p.Nodes, n)
+				} else {
+					continue
+				}
+				bad := false
+				for _, hop := range rec.NavChain {
+					n, ok := nodeFrom(hop.URL)
+					if !ok {
+						bad = true
+						break
+					}
+					p.Nodes = append(p.Nodes, n)
+				}
+				if bad || len(p.Nodes) < 2 {
+					continue
+				}
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// Candidate is a token observed crossing at least one first-party
+// boundary as a query parameter inside one navigation path — a potential
+// UID smuggling instance before UID identification.
+type Candidate struct {
+	Name    string
+	Value   string
+	Walk    int
+	Step    int
+	Crawler string
+	Profile string
+	Path    *Path
+	// FirstIdx/LastIdx are the node indices of the token's first and
+	// last appearance in the path's query parameters (node 0 is the
+	// originator, which has no incoming navigation, so FirstIdx >= 1
+	// unless the token already sat on the originator URL).
+	FirstIdx int
+	LastIdx  int
+	// Crossings is the number of registered-domain boundaries the token
+	// crossed while present.
+	Crossings int
+}
+
+// FindCandidates scans a path for tokens transferred across first-party
+// contexts: a token counts when it appears in the query parameters of a
+// hop whose registered domain differs from the previous hop's (§3.6). A
+// token that appears on consecutive same-domain hops only is discarded,
+// as are tokens never passed as query parameters at all.
+func FindCandidates(p *Path) []*Candidate {
+	found := make(map[string]*Candidate) // name\x00value → candidate
+	for i, node := range p.Nodes {
+		for _, tok := range node.Tokens {
+			key := tok.Name + "\x00" + tok.Value
+			c := found[key]
+			if c == nil {
+				c = &Candidate{
+					Name: tok.Name, Value: tok.Value,
+					Walk: p.Walk, Step: p.Step, Crawler: p.Crawler, Profile: p.Profile,
+					Path: p, FirstIdx: i, LastIdx: i,
+				}
+				found[key] = c
+			}
+			c.LastIdx = i
+			if i > 0 && p.Nodes[i].Domain != p.Nodes[i-1].Domain {
+				c.Crossings++
+			}
+		}
+	}
+	var out []*Candidate
+	for _, c := range found {
+		if c.Crossings > 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// AllCandidates runs FindCandidates over every path.
+func AllCandidates(paths []*Path) []*Candidate {
+	var out []*Candidate
+	for _, p := range paths {
+		out = append(out, FindCandidates(p)...)
+	}
+	return out
+}

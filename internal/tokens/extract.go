@@ -1,0 +1,283 @@
+// Package tokens implements CrumbCruncher's token pipeline (§3.6–3.7):
+// extracting potential UID tokens from cookies, localStorage and query
+// parameters (recursively parsing JSON and URL-encoded values), detecting
+// tokens that crossed first-party contexts inside navigation URLs, and the
+// programmatic and lexicon ("manual") filters that separate UIDs from
+// harmless values.
+package tokens
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"crumbcruncher/internal/publicsuffix"
+	"crumbcruncher/internal/words"
+)
+
+// Pair is a name/value pair extracted from a token source.
+type Pair struct {
+	Name  string
+	Value string
+}
+
+// Extract recursively decomposes a value into leaf tokens. JSON objects
+// and arrays are descended into; URL-encoded strings (full URLs,
+// query-string fragments, percent-encoded blobs) are decoded and
+// descended into. The paper's example: a query parameter holding a JSON
+// string that itself contains URL-encoded tokens yields each token
+// individually.
+func Extract(name, value string) []Pair {
+	var out []Pair
+	extractInto(name, value, 0, &out)
+	return out
+}
+
+const maxDepth = 6
+
+func extractInto(name, value string, depth int, out *[]Pair) {
+	value = strings.TrimSpace(value)
+	if value == "" {
+		return
+	}
+	if depth >= maxDepth {
+		*out = append(*out, Pair{Name: name, Value: value})
+		return
+	}
+
+	// JSON object/array.
+	if strings.HasPrefix(value, "{") || strings.HasPrefix(value, "[") {
+		var v interface{}
+		if err := json.Unmarshal([]byte(value), &v); err == nil {
+			extractJSON(name, v, depth+1, out)
+			return
+		}
+	}
+
+	// Full URL: the URL itself is a token (the URL filter will remove
+	// it), and its query parameters are tokens of their own.
+	if u, err := url.Parse(value); err == nil && (u.Scheme == "http" || u.Scheme == "https") && u.Host != "" {
+		*out = append(*out, Pair{Name: name, Value: value})
+		for k, vs := range u.Query() {
+			for _, v := range vs {
+				extractInto(k, v, depth+1, out)
+			}
+		}
+		return
+	}
+
+	// Query-string-shaped value: a=1&b=2.
+	if strings.Contains(value, "=") && (strings.Contains(value, "&") || strings.Count(value, "=") == 1) {
+		if vals, err := url.ParseQuery(value); err == nil && plausibleQuery(vals) {
+			for k, vs := range vals {
+				for _, v := range vs {
+					extractInto(k, v, depth+1, out)
+				}
+			}
+			return
+		}
+	}
+
+	// Percent-encoded payload: unescape once and retry.
+	if strings.Contains(value, "%") {
+		if dec, err := url.QueryUnescape(value); err == nil && dec != value {
+			extractInto(name, dec, depth+1, out)
+			return
+		}
+	}
+
+	*out = append(*out, Pair{Name: name, Value: value})
+}
+
+// plausibleQuery rejects degenerate ParseQuery successes (e.g. "a=b=c"
+// style strings that are not really query strings).
+func plausibleQuery(vals url.Values) bool {
+	if len(vals) == 0 {
+		return false
+	}
+	for k := range vals {
+		if k == "" {
+			return false
+		}
+	}
+	return true
+}
+
+func extractJSON(name string, v interface{}, depth int, out *[]Pair) {
+	switch t := v.(type) {
+	case map[string]interface{}:
+		for k, sub := range t {
+			extractJSON(name+"."+k, sub, depth+1, out)
+		}
+	case []interface{}:
+		for i, sub := range t {
+			extractJSON(fmt.Sprintf("%s[%d]", name, i), sub, depth+1, out)
+		}
+	case string:
+		extractInto(name, t, depth, out)
+	case float64:
+		*out = append(*out, Pair{Name: name, Value: strconv.FormatFloat(t, 'f', -1, 64)})
+	case bool:
+		*out = append(*out, Pair{Name: name, Value: strconv.FormatBool(t)})
+	case nil:
+		// skip
+	}
+}
+
+// --- Programmatic filters (§3.7.2) ----------------------------------------
+
+// FilterReason explains why a token was removed.
+type FilterReason string
+
+const (
+	// KeepToken marks tokens that survive all programmatic filters.
+	KeepToken FilterReason = ""
+	// TooShort removes tokens under eight characters.
+	TooShort FilterReason = "too_short"
+	// LooksLikeDate removes dates and timestamps.
+	LooksLikeDate FilterReason = "date_or_timestamp"
+	// LooksLikeURL removes URLs and domains.
+	LooksLikeURL FilterReason = "url_or_domain"
+)
+
+var isoDateRe = regexp.MustCompile(`^\d{4}-\d{2}-\d{2}([T ]\d{2}:\d{2}(:\d{2})?)?`)
+var slashDateRe = regexp.MustCompile(`^\d{1,2}/\d{1,2}/\d{2,4}$`)
+
+// ProgrammaticFilter applies the paper's programmatic heuristics: remove
+// tokens that appear to be dates or timestamps, tokens that appear to be
+// URLs, and tokens shorter than eight characters. No restriction is
+// placed on cookie expirations.
+func ProgrammaticFilter(value string) FilterReason {
+	if len(value) < 8 {
+		return TooShort
+	}
+	if looksLikeTimestamp(value) || isoDateRe.MatchString(value) || slashDateRe.MatchString(value) {
+		return LooksLikeDate
+	}
+	if looksLikeURL(value) {
+		return LooksLikeURL
+	}
+	return KeepToken
+}
+
+// looksLikeTimestamp recognises Unix epoch seconds/milliseconds.
+func looksLikeTimestamp(v string) bool {
+	if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+		// Seconds: 2001..2096. Milliseconds: same range scaled.
+		if (n > 1_000_000_000 && n < 4_000_000_000) ||
+			(n > 1_000_000_000_000 && n < 4_000_000_000_000) {
+			return true
+		}
+	}
+	return false
+}
+
+// looksLikeURL recognises URLs, encoded URLs and bare domains.
+func looksLikeURL(v string) bool {
+	lower := strings.ToLower(v)
+	if strings.Contains(lower, "://") || strings.HasPrefix(lower, "www.") ||
+		strings.Contains(lower, "%3a%2f%2f") {
+		return true
+	}
+	// Bare registrable domain (possibly with a path).
+	host := lower
+	if i := strings.IndexByte(host, '/'); i >= 0 {
+		host = host[:i]
+	}
+	if strings.Count(host, ".") >= 1 && !strings.ContainsAny(host, " _,&=") {
+		if rd := publicsuffix.RegisteredDomain(host); rd != "" && strings.HasSuffix(host, topLabel(rd)) {
+			// Require a known TLD: "a.b" with an unknown TLD is not a
+			// domain (RegisteredDomain falls back to the last label, so
+			// verify the suffix is a real rule by checking it's not the
+			// whole host-minus-one-label heuristically).
+			return knownTLD(rd)
+		}
+	}
+	return false
+}
+
+func topLabel(domain string) string {
+	if i := strings.LastIndexByte(domain, '.'); i >= 0 {
+		return domain[i:]
+	}
+	return domain
+}
+
+// knownTLD reports whether the registered domain ends in a suffix the PSL
+// actually knows (rather than the fallback last-label rule).
+func knownTLD(rd string) bool {
+	suffix := publicsuffix.Default().PublicSuffix(rd)
+	switch suffix {
+	case "com", "net", "org", "io", "co", "ru", "de", "link", "world", "info",
+		"co.uk", "com.au", "dev", "app", "edu", "gov":
+		return true
+	}
+	return false
+}
+
+// --- Lexicon ("manual") review (§3.7.2) ------------------------------------
+
+// ManualReview implements the paper's final conservative hand rule as a
+// lexicon recogniser: remove tokens composed of any combination of
+// natural-language words, coordinates, domains, or obvious acronyms like
+// "en-US". It returns true when the token should be REMOVED as a non-UID.
+func ManualReview(value string) bool {
+	if coordinateRe.MatchString(value) {
+		return true
+	}
+	lower := strings.ToLower(value)
+	for _, l := range words.Locales {
+		if lower == strings.ToLower(l) {
+			return true
+		}
+	}
+	for _, a := range words.Acronyms {
+		if lower == strings.ToLower(a) {
+			return true
+		}
+	}
+	if localeShapeRe.MatchString(value) {
+		return true
+	}
+	if looksLikeURL(value) {
+		return true
+	}
+	// Natural-language check: split on delimiters; every part must be
+	// vocabulary (directly, or as a delimiter-free concatenation).
+	parts := strings.FieldsFunc(lower, func(r rune) bool {
+		return r == '_' || r == '-' || r == '+' || r == ' ' || r == '.' || r == ','
+	})
+	if len(parts) == 0 {
+		return false
+	}
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		if !isWordLike(p) {
+			return false
+		}
+	}
+	return true
+}
+
+var coordinateRe = regexp.MustCompile(`^-?\d{1,3}\.\d+,\s*-?\d{1,3}\.\d+$`)
+var localeShapeRe = regexp.MustCompile(`^[a-z]{2}-[A-Z]{2}$`)
+
+// isWordLike accepts vocabulary words, their concatenations, and small
+// numbers (issue counters and the like).
+func isWordLike(p string) bool {
+	if words.IsCommon(p) || words.IsBrandish(p) {
+		return true
+	}
+	if _, err := strconv.Atoi(p); err == nil && len(p) <= 4 {
+		return true
+	}
+	if _, ok := words.SegmentWords(p); ok {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,63 @@
+package tranco
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	l := FromDomains([]string{"alpha.com", "beta.net", "gamma.org"})
+	var b strings.Builder
+	if err := Write(&b, l); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "1,alpha.com\n2,beta.net\n3,gamma.org\n" {
+		t.Fatalf("output = %q", b.String())
+	}
+	back, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != 3 || back.Entries[1] != (Entry{Rank: 2, Domain: "beta.net"}) {
+		t.Fatalf("entries = %v", back.Entries)
+	}
+}
+
+func TestParseSkipsCommentsAndNormalizes(t *testing.T) {
+	in := "# a comment\n\n1,Alpha.COM  \n5,beta.net\n"
+	l, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Entries[0].Domain != "alpha.com" {
+		t.Fatalf("normalization: %q", l.Entries[0].Domain)
+	}
+	if l.Entries[1].Rank != 5 {
+		t.Fatal("gap ranks should be accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"no-comma-here",
+		"x,domain.com",
+		"0,domain.com",
+		"2,a.com\n1,b.com", // decreasing
+		"1,",
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestTop(t *testing.T) {
+	l := FromDomains([]string{"a.com", "b.com", "c.com"})
+	if got := l.Top(2); len(got) != 2 || got[1] != "b.com" {
+		t.Fatalf("Top(2) = %v", got)
+	}
+	if got := l.Top(10); len(got) != 3 {
+		t.Fatalf("Top(10) = %v", got)
+	}
+}

@@ -1,0 +1,147 @@
+package web
+
+import "sync"
+
+// ParamKind is the ground-truth classification of a query parameter.
+type ParamKind int
+
+const (
+	// ParamUnknown marks parameters the world never registered.
+	ParamUnknown ParamKind = iota
+	// ParamUID is a true user identifier: stable per user, distinct
+	// across users. Smuggling one across first-party contexts is the
+	// behaviour the paper measures.
+	ParamUID
+	// ParamSession is a per-visit session identifier.
+	ParamSession
+	// ParamBenign is a harmless value (slug, locale, campaign name,
+	// coordinates).
+	ParamBenign
+	// ParamDest carries a destination URL through a redirector.
+	ParamDest
+	// ParamTimestamp is a time value.
+	ParamTimestamp
+	// ParamRouting is simulation/ad routing metadata (ad ids, slot ids).
+	ParamRouting
+)
+
+// String names the kind.
+func (k ParamKind) String() string {
+	switch k {
+	case ParamUID:
+		return "uid"
+	case ParamSession:
+		return "session"
+	case ParamBenign:
+		return "benign"
+	case ParamDest:
+		return "dest"
+	case ParamTimestamp:
+		return "timestamp"
+	case ParamRouting:
+		return "routing"
+	default:
+		return "unknown"
+	}
+}
+
+// Truth is the generator's ground-truth registry: which query-parameter
+// names carry which kind of value, and which redirector hosts are, by
+// construction, dedicated smugglers. The measurement pipeline must never
+// consult it; evaluation code uses it to score the pipeline's precision
+// and recall.
+type Truth struct {
+	mu     sync.RWMutex
+	params map[string]ParamKind
+	// dedicated is the set of redirector FQDNs whose only function is UID
+	// smuggling.
+	dedicated map[string]bool
+	// smugglers is the set of all smuggling participant hosts (dedicated
+	// + multi-purpose redirectors that transfer UIDs).
+	smugglers map[string]bool
+}
+
+func newTruth() *Truth {
+	return &Truth{
+		params:    make(map[string]ParamKind),
+		dedicated: make(map[string]bool),
+		smugglers: make(map[string]bool),
+	}
+}
+
+// registerParam records a parameter's kind. Registering the same name with
+// a different kind panics: the generator must keep parameter vocabularies
+// disjoint or evaluation would be ambiguous.
+func (t *Truth) registerParam(name string, kind ParamKind) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if prev, ok := t.params[name]; ok && prev != kind {
+		panic("web: param " + name + " registered as both " + prev.String() + " and " + kind.String())
+	}
+	t.params[name] = kind
+}
+
+// ParamKindOf returns the ground-truth kind of a parameter name.
+func (t *Truth) ParamKindOf(name string) ParamKind {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.params[name]
+}
+
+// IsUIDParam reports whether the parameter carries a true UID.
+func (t *Truth) IsUIDParam(name string) bool { return t.ParamKindOf(name) == ParamUID }
+
+// UIDParams returns all registered UID parameter names.
+func (t *Truth) UIDParams() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []string
+	for p, k := range t.params {
+		if k == ParamUID {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// markDedicated records a dedicated-smuggler host.
+func (t *Truth) markDedicated(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dedicated[host] = true
+	t.smugglers[host] = true
+}
+
+// markSmuggler records a (possibly multi-purpose) smuggling redirector
+// host.
+func (t *Truth) markSmuggler(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.smugglers[host] = true
+}
+
+// IsDedicated reports ground-truth dedicated-smuggler status.
+func (t *Truth) IsDedicated(host string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.dedicated[host]
+}
+
+// IsSmuggler reports whether host participates in UID smuggling as a
+// redirector.
+func (t *Truth) IsSmuggler(host string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.smugglers[host]
+}
+
+// DedicatedHosts returns all ground-truth dedicated smuggler hosts.
+func (t *Truth) DedicatedHosts() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.dedicated))
+	for h := range t.dedicated {
+		out = append(out, h)
+	}
+	return out
+}

@@ -1,0 +1,875 @@
+package web
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"crumbcruncher/internal/netsim"
+	"crumbcruncher/internal/publicsuffix"
+	"crumbcruncher/internal/stats"
+)
+
+// TrackerKind classifies a tracker organisation.
+type TrackerKind int
+
+const (
+	// AdNetwork serves display ads in iframes and routes clicks through
+	// its redirectors (the DoubleClick-alikes; dedicated smugglers).
+	AdNetwork TrackerKind = iota
+	// AffiliateNetwork decorates text links on publisher pages and
+	// routes them through its click hosts (the AWIN-alikes).
+	AffiliateNetwork
+	// BounceTracker redirects without transferring UIDs (Koop et al.'s
+	// subject).
+	BounceTracker
+	// Analytics receives beacons only — the Figure 6 third parties that
+	// get UIDs leaked to them.
+	Analytics
+	// OrgSync is a pseudo-tracker: a multi-site organisation syncing its
+	// own UID across its domains (the Sports-Reference pattern).
+	OrgSync
+)
+
+// String names the kind.
+func (k TrackerKind) String() string {
+	switch k {
+	case AdNetwork:
+		return "ad-network"
+	case AffiliateNetwork:
+		return "affiliate-network"
+	case BounceTracker:
+		return "bounce-tracker"
+	case Analytics:
+		return "analytics"
+	case OrgSync:
+		return "org-sync"
+	default:
+		return "unknown"
+	}
+}
+
+// Tracker is one tracker organisation and its infrastructure.
+type Tracker struct {
+	Name string
+	Org  string
+	Kind TrackerKind
+	// Domain is the primary registered domain.
+	Domain string
+	// OwnedDomains lists every registered domain the organisation owns
+	// (Domain first).
+	OwnedDomains []string
+	// ScriptHost serves tracker scripts and collect endpoints.
+	ScriptHost string
+	// ServeHost serves iframe ad slots (ad networks).
+	ServeHost string
+	// ClickHosts are the redirector FQDNs (dedicated smugglers for
+	// smuggling trackers).
+	ClickHosts []string
+	// Param is the UID query-parameter name this tracker smuggles under.
+	Param string
+	// MidParam is the parameter name used when a redirector injects its
+	// own UID mid-chain.
+	MidParam string
+	// CookieName is the first-party cookie the tracker's script uses.
+	CookieName string
+	// TTLDays is the UID cookie lifetime.
+	TTLDays int
+	// Weight is relative market share.
+	Weight float64
+	// Campaigns are the ad network's campaigns.
+	Campaigns []*Campaign
+	// DestRetailers are the retailers an affiliate network's links point
+	// to (these destinations carry its collector script).
+	DestRetailers []string
+	// Smuggles marks trackers whose navigation URLs carry UIDs. Ad
+	// networks with Smuggles=false serve untracked ads: their redirects
+	// are bounce tracking, not UID smuggling.
+	Smuggles bool
+	// UIDFormat selects the UID value shape: "" for opaque hex, "ga" for
+	// Google-Analytics-style structured IDs ("GA1.2.<random>.<epoch>").
+	// Structured IDs share most of their characters across users, which
+	// is exactly what makes prior work's Ratcliff/Obershelp fuzzy
+	// matching discard them as "the same" (§8.1).
+	UIDFormat string
+	// SafariOnly trackers sniff the User-Agent and smuggle only on
+	// Safari (§3.4's hypothesis about partitioned-storage evasion).
+	SafariOnly bool
+	// RefererSmuggler trackers decorate the Referer header instead of
+	// the destination URL (§6 limitation).
+	RefererSmuggler bool
+}
+
+// Campaign is one ad campaign: a destination retailer reached through a
+// redirect chain.
+type Campaign struct {
+	ID    string
+	Owner *Tracker
+	Dest  string   // retailer registered domain
+	Chain []string // redirector FQDNs, possibly empty
+	Ads   int      // number of creatives
+	// Extra are the campaign's own benign parameters (topics, creative
+	// names) that ride its click URLs — the natural-language token
+	// classes the paper's manual review removes.
+	Extra map[string]string
+}
+
+// Site is one content site.
+type Site struct {
+	Domain   string
+	Rank     int // 1 = most popular
+	Kind     SiteKind
+	Category string
+	Org      string
+	// Fingerprinting marks sites that host browser-fingerprinting code
+	// (membership in the Iqbal-style list of §3.5).
+	Fingerprinting bool
+
+	// Decorators are affiliate trackers whose scripts run on this site's
+	// pages. fpDecorator marks which of them derive UIDs from the
+	// machine fingerprint here.
+	Decorators  []*Tracker
+	fpDecorator map[string]bool
+	// Analytics are beacon third parties on this site.
+	Analytics []*Tracker
+	// AdNetworks provide this site's iframe slots.
+	AdNetworks []*Tracker
+	// Partners are other sites this one links to.
+	Partners []string
+	// Siblings are same-organisation sites (org-sync link targets).
+	Siblings []string
+	// SyncTracker is the organisation's own cross-domain syncer, if any.
+	SyncTracker *Tracker
+	// ShortenerHost is the site's own outbound redirector (t.co
+	// pattern), empty if none.
+	ShortenerHost string
+	// SSOHost is the organisation's sign-in redirector, empty if none.
+	SSOHost string
+	// HasAccount marks sites with a token-gated /account page.
+	HasAccount bool
+	// BreakageClass is how /account degrades without its token:
+	// 0 = no change, 1 = minor layout shift, 2 = missing autofill,
+	// 3 = redirect to homepage (§6's breakage experiment).
+	BreakageClass int
+
+	// AdSlots is the number of iframe slots per page.
+	AdSlots int
+	// ExtLinks is the number of static external links per page.
+	ExtLinks int
+	// Collectors are the trackers whose destination-side scripts run on
+	// this site, harvesting their own smuggled parameters into
+	// first-party cookies with the tracker's own cookie lifetime.
+	Collectors []*Tracker
+}
+
+// World is a built synthetic web.
+type World struct {
+	cfg   Config
+	net   *netsim.Network
+	truth *Truth
+	psl   *publicsuffix.List
+	split *stats.Splitter
+
+	sites        []*Site
+	siteByDomain map[string]*Site
+	trackers     []*Tracker
+	adNetworks   []*Tracker
+	affiliates   []*Tracker
+	bounces      []*Tracker
+	analytics    []*Tracker
+
+	orgOf      map[string]string // registered domain → organisation (full truth)
+	categories map[string]string // registered domain → category
+
+	// allCampaigns is the cross-network syndication pool rotated ads are
+	// drawn from; campaignsByDest indexes it by destination for
+	// same-destination rotation.
+	allCampaigns    []*Campaign
+	campaignsByDest map[string][]*Campaign
+
+	visitMu sync.Mutex
+	visits  map[string]int
+}
+
+// Config returns the world's configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Network returns the virtual network serving this world.
+func (w *World) Network() *netsim.Network { return w.net }
+
+// Truth returns the ground-truth registry.
+func (w *World) Truth() *Truth { return w.truth }
+
+// Sites returns all content sites.
+func (w *World) Sites() []*Site { return w.sites }
+
+// Trackers returns all tracker organisations.
+func (w *World) Trackers() []*Tracker { return w.trackers }
+
+// Site returns the site owning the registered domain of host, or nil.
+func (w *World) Site(host string) *Site {
+	return w.siteByDomain[w.regDomain(host)]
+}
+
+// Seeders returns the seeder domain list (most popular first) — the
+// world's Tranco equivalent.
+func (w *World) Seeders() []string {
+	out := make([]string, len(w.sites))
+	for i, s := range w.sites {
+		out[i] = s.Domain
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return w.siteByDomain[out[i]].Rank < w.siteByDomain[out[j]].Rank
+	})
+	return out
+}
+
+// Organizations returns the complete domain → organisation map.
+func (w *World) Organizations() map[string]string {
+	out := make(map[string]string, len(w.orgOf))
+	for d, o := range w.orgOf {
+		out[d] = o
+	}
+	return out
+}
+
+// Categories returns the complete domain → category map.
+func (w *World) Categories() map[string]string {
+	out := make(map[string]string, len(w.categories))
+	for d, c := range w.categories {
+		out[d] = c
+	}
+	return out
+}
+
+// Fingerprinters returns the domains of sites hosting fingerprinting code.
+func (w *World) Fingerprinters() []string {
+	var out []string
+	for _, s := range w.sites {
+		if s.Fingerprinting {
+			out = append(out, s.Domain)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (w *World) regDomain(host string) string {
+	if rd := w.psl.RegisteredDomain(host); rd != "" {
+		return rd
+	}
+	return host
+}
+
+// visit increments and returns a deterministic per-key counter. Keys embed
+// the client identity, so each crawler's sequence is reproducible
+// regardless of goroutine scheduling.
+func (w *World) visit(key string) int {
+	w.visitMu.Lock()
+	defer w.visitMu.Unlock()
+	w.visits[key]++
+	return w.visits[key]
+}
+
+// BuildWorld constructs the synthetic web and registers every handler on a
+// fresh network.
+func BuildWorld(cfg Config) *World {
+	if cfg.NumSites <= 0 {
+		cfg = DefaultConfig()
+	}
+	w := &World{
+		cfg:          cfg,
+		net:          netsim.New(),
+		truth:        newTruth(),
+		psl:          publicsuffix.Default(),
+		split:        stats.NewSplitter(cfg.Seed),
+		siteByDomain: make(map[string]*Site),
+		orgOf:        make(map[string]string),
+		categories:   make(map[string]string),
+		visits:       make(map[string]int),
+	}
+	rng := w.split.RNG("world/build")
+	forge := newNameForge(w.split.RNG("world/names"))
+
+	w.buildTrackers(rng, forge)
+	w.buildSites(rng, forge)
+	w.buildCampaigns(rng)
+	w.assignTrackersToSites(rng)
+	w.registerParams()
+	w.registerHandlers()
+	w.installFaults()
+	return w
+}
+
+// buildTrackers creates the tracker organisations (sites come later, so
+// campaign destinations and retailer partnerships are wired in
+// buildCampaigns).
+func (w *World) buildTrackers(rng *stats.RNG, forge *nameForge) {
+	newTracker := func(kind TrackerKind, weight float64) *Tracker {
+		domain := forge.trackerDomain()
+		t := &Tracker{
+			Name:         domain[:len(domain)-len(tldOf(domain))],
+			Org:          forge.orgName(),
+			Kind:         kind,
+			Domain:       domain,
+			OwnedDomains: []string{domain},
+			ScriptHost:   "cdn." + domain,
+			Weight:       weight,
+		}
+		w.orgOf[domain] = t.Org
+		return t
+	}
+
+	smuggling := int(w.cfg.AdSmugglesFraction*float64(w.cfg.NumAdNetworks) + 0.5)
+	for i := 0; i < w.cfg.NumAdNetworks; i++ {
+		t := newTracker(AdNetwork, 1/float64(i+1))
+		t.ServeHost = "serve." + t.Domain
+		t.ClickHosts = []string{"adclick.g." + t.Domain}
+		// The biggest networks smuggle (the DoubleClick-alikes dominate
+		// Table 3); the tail serves untracked ads. A couple of
+		// mid-market smuggling networks only do so on Safari, where
+		// partitioned storage makes smuggling worthwhile (§3.4).
+		t.Smuggles = i < smuggling
+		t.SafariOnly = t.Smuggles && i >= 2 && i < 2+w.cfg.SafariOnlyAdNetworks
+		// The two biggest networks own a second domain whose redirector
+		// always follows the first (the awin1.com → zenaps.com pattern).
+		if i < 2 {
+			d2 := forge.trackerDomain()
+			t.OwnedDomains = append(t.OwnedDomains, d2)
+			t.ClickHosts = append(t.ClickHosts, "r."+d2)
+			w.orgOf[d2] = t.Org
+		}
+		t.Param = forge.paramName()
+		t.MidParam = forge.paramName()
+		t.CookieName = "_" + t.Name + "_id"
+		t.TTLDays = shortTTLFor(i, w.cfg.NumAdNetworks, w.cfg.ShortUIDTTLFraction)
+		w.adNetworks = append(w.adNetworks, t)
+		w.trackers = append(w.trackers, t)
+	}
+
+	for i := 0; i < w.cfg.NumDecorators; i++ {
+		t := newTracker(AffiliateNetwork, 1/float64(i+1))
+		t.Smuggles = true
+		t.ClickHosts = []string{"track." + t.Domain}
+		if rng.Bool(0.3) {
+			t.ClickHosts = append(t.ClickHosts, "go."+t.Domain)
+		}
+		t.Param = forge.paramName()
+		t.MidParam = forge.paramName()
+		t.CookieName = "_" + t.Name
+		t.TTLDays = shortTTLFor(i, w.cfg.NumDecorators, w.cfg.ShortUIDTTLFraction)
+		if i%3 == 1 {
+			t.UIDFormat = "ga"
+		}
+		// A few trackers smuggle via the Referer header (§6 limitation);
+		// keep them off the biggest networks so the main results aren't
+		// dominated by invisible transfers.
+		if mid := w.cfg.NumDecorators / 2; i >= mid && i < mid+w.cfg.RefererDecorators {
+			t.RefererSmuggler = true
+		}
+		w.affiliates = append(w.affiliates, t)
+		w.trackers = append(w.trackers, t)
+	}
+
+	for i := 0; i < w.cfg.NumBounceTrackers; i++ {
+		t := newTracker(BounceTracker, 1/float64(i+1))
+		t.ClickHosts = []string{"b." + t.Domain}
+		t.CookieName = "_" + t.Name + "_b"
+		w.bounces = append(w.bounces, t)
+		w.trackers = append(w.trackers, t)
+	}
+
+	for i := 0; i < w.cfg.NumAnalytics; i++ {
+		t := newTracker(Analytics, 1/float64(i+1))
+		t.ScriptHost = "g." + t.Domain
+		t.CookieName = "_" + t.Name + "_a"
+		w.analytics = append(w.analytics, t)
+		w.trackers = append(w.trackers, t)
+	}
+}
+
+// shortTTLs are the sub-90-day cookie lifetimes some trackers use — the
+// UIDs prior work's lifetime heuristics would have thrown away (§3.7.1:
+// 16% of UIDs lived under 90 days, 9% under a month).
+var shortTTLs = []int{21, 25, 45, 60, 75}
+
+// shortTTLFor assigns lifetimes: a ShortUIDTTLFraction-sized window of
+// mid-market trackers (starting below the very biggest, which keep
+// year-long cookies) uses short-lived UID cookies.
+func shortTTLFor(i, n int, frac float64) int {
+	lo := 6
+	if lo >= n {
+		lo = n / 2
+	}
+	hi := lo + int(frac*float64(n)+0.5)
+	if i >= lo && i < hi {
+		return shortTTLs[(i-lo)%len(shortTTLs)]
+	}
+	return 390
+}
+
+func tldOf(domain string) string {
+	for i := len(domain) - 1; i >= 0; i-- {
+		if domain[i] == '.' {
+			return domain[i:]
+		}
+	}
+	return ""
+}
+
+// categoryWeights defines the IAB-style taxonomy per site kind; the
+// weights shape Figure 5's category distribution (news and sports heavy on
+// the originator side, shopping and technology on the destination side).
+var categoryWeights = map[SiteKind][]stats.Entry{
+	Publisher: {
+		{Key: "News/Weather/Information", Count: 22},
+		{Key: "Sports", Count: 12},
+		{Key: "Technology & Computing", Count: 12},
+		{Key: "Arts & Entertainment", Count: 9},
+		{Key: "Hobbies & Interests", Count: 8},
+		{Key: "Health & Fitness", Count: 6},
+		{Key: "Style & Fashion", Count: 5},
+		{Key: "Automotive", Count: 4},
+		{Key: "Science", Count: 3},
+		{Key: "Travel", Count: 3},
+		{Key: "Food & Drink", Count: 2},
+		{Key: "Streaming Media", Count: 2},
+		{Key: "Adult Content", Count: 2},
+		{Key: "Religion & Spirituality", Count: 1},
+	},
+	Retailer: {
+		{Key: "Shopping", Count: 18},
+		{Key: "Technology & Computing", Count: 12},
+		{Key: "Business", Count: 10},
+		{Key: "Style & Fashion", Count: 7},
+		{Key: "Home & Garden", Count: 6},
+		{Key: "Personal Finance", Count: 5},
+		{Key: "Education", Count: 4},
+		{Key: "Automotive", Count: 3},
+		{Key: "Food & Drink", Count: 2},
+		{Key: "Dating/Personals", Count: 1},
+	},
+	Portal: {
+		{Key: "Business", Count: 10},
+		{Key: "Education", Count: 8},
+		{Key: "Social Networking", Count: 6},
+		{Key: "Law Government & Politics", Count: 5},
+		{Key: "Careers", Count: 3},
+		{Key: "Family & Parenting", Count: 2},
+		{Key: "Under Construction", Count: 1},
+		{Key: "Content Server", Count: 1},
+	},
+}
+
+func pickCategory(rng *stats.RNG, kind SiteKind) string {
+	entries := categoryWeights[kind]
+	weights := make([]float64, len(entries))
+	for i, e := range entries {
+		weights[i] = float64(e.Count)
+	}
+	return entries[rng.WeightedIndex(weights)].Key
+}
+
+// buildSites creates content sites, multi-site organisations and the
+// partner link graph.
+func (w *World) buildSites(rng *stats.RNG, forge *nameForge) {
+	n := w.cfg.NumSites
+	kinds := make([]SiteKind, n)
+	for i := range kinds {
+		r := rng.Float64()
+		switch {
+		case r < w.cfg.PublisherFraction:
+			kinds[i] = Publisher
+		case r < w.cfg.PublisherFraction+w.cfg.RetailerFraction:
+			kinds[i] = Retailer
+		default:
+			kinds[i] = Portal
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		s := &Site{
+			Domain:   forge.siteDomain(""),
+			Rank:     i + 1,
+			Kind:     kinds[i],
+			Category: pickCategory(rng, kinds[i]),
+		}
+		s.Org = orgFromDomain(s.Domain)
+		w.addSite(s)
+	}
+
+	// Multi-site sync organisations: mid-popularity publishers owning
+	// several heavily interlinked domains (Sports Reference pattern).
+	// They start below the very top of the ranking — reference networks
+	// are popular but not Facebook-popular.
+	idx := 25
+	if idx >= len(w.sites) {
+		idx = 0
+	}
+	for o := 0; o < w.cfg.NumSyncOrgs && idx < len(w.sites); o++ {
+		size := 3 + rng.Intn(3)
+		org := forge.orgName()
+		syncParam := forge.paramName()
+		var members []*Site
+		for k := 0; k < size && idx < len(w.sites); k++ {
+			s := w.sites[idx]
+			idx++
+			s.Org = org
+			w.orgOf[s.Domain] = org
+			members = append(members, s)
+		}
+		if len(members) < 2 {
+			continue
+		}
+		primary := members[0]
+		sync := &Tracker{
+			Name:         "sync-" + primary.Domain,
+			Org:          org,
+			Kind:         OrgSync,
+			Domain:       primary.Domain,
+			OwnedDomains: []string{primary.Domain},
+			Param:        syncParam,
+			CookieName:   "_org_uid",
+			TTLDays:      720,
+		}
+		w.trackers = append(w.trackers, sync)
+		for _, s := range members {
+			s.SyncTracker = sync
+			for _, m := range members {
+				if m != s {
+					s.Siblings = append(s.Siblings, m.Domain)
+				}
+			}
+		}
+		// Sync orgs with an SSO host: the multi-purpose login
+		// redirector.
+		if o%2 == 0 {
+			sso := "signin." + primary.Domain
+			for _, s := range members {
+				s.SSOHost = sso
+				s.HasAccount = true
+				s.BreakageClass = breakageClassFor(rng)
+			}
+		}
+	}
+
+	// A couple of popular publishers run their own outbound shortener
+	// (the t.co / l.facebook.com pattern).
+	shorteners := 0
+	for _, s := range w.sites {
+		if s.Kind == Publisher && s.Rank <= 20 && rng.Bool(0.35) {
+			s.ShortenerHost = "l." + s.Domain
+			shorteners++
+			if shorteners >= 4 {
+				break
+			}
+		}
+	}
+
+	// Fingerprinting sites.
+	for _, s := range w.sites {
+		if rng.Bool(w.cfg.FingerprinterSiteFraction) {
+			s.Fingerprinting = true
+		}
+	}
+
+	// Partner graph: sample partners with popularity bias.
+	zipf := stats.NewZipf(len(w.sites), 0.35)
+	for _, s := range w.sites {
+		want := 4 + rng.Intn(5)
+		seen := map[string]bool{s.Domain: true}
+		for _, sib := range s.Siblings {
+			if !seen[sib] {
+				s.Partners = append(s.Partners, sib)
+				seen[sib] = true
+			}
+		}
+		for tries := 0; len(s.Partners) < want && tries < 50; tries++ {
+			p := w.sites[zipf.Rank(rng)-1]
+			if seen[p.Domain] {
+				continue
+			}
+			seen[p.Domain] = true
+			s.Partners = append(s.Partners, p.Domain)
+		}
+	}
+}
+
+// breakageClassFor draws the /account degradation class with the 7/1/1/1
+// weighting that reproduces the paper's 10-page experiment.
+func breakageClassFor(rng *stats.RNG) int {
+	return rng.WeightedIndex([]float64{7, 1, 1, 1})
+}
+
+// campaignExtras coins a campaign's benign parameters: rare names (each
+// campaign its own), natural-language values. When ads rotate, these land
+// on a single crawler and reach the pipeline's manual-review stage, where
+// the lexicon removes them — the paper's §3.7.2 false-positive classes.
+func campaignExtras(rng *stats.RNG, truth *Truth) map[string]string {
+	out := map[string]string{}
+	n := 1 + rng.Intn(2)
+	for i := 0; i < n; i++ {
+		name := concatWords(rng, 2)
+		var value string
+		switch rng.Intn(4) {
+		case 0:
+			value = slugFrom(rng, 3+rng.Intn(2))
+		case 1:
+			value = concatWords(rng, 2)
+		case 2:
+			value = fmt.Sprintf("%d.%04d,-%d.%04d", rng.Intn(80), rng.Intn(9999), rng.Intn(170), rng.Intn(9999))
+		default:
+			value = slugFrom(rng, 2) + "_topic"
+		}
+		truth.registerParam(name, ParamBenign)
+		out[name] = value
+	}
+	return out
+}
+
+func (w *World) addSite(s *Site) {
+	w.sites = append(w.sites, s)
+	w.siteByDomain[s.Domain] = s
+	w.orgOf[s.Domain] = s.Org
+	w.categories[s.Domain] = s.Category
+}
+
+// orgFromDomain derives a single-site organisation name from its domain.
+func orgFromDomain(domain string) string {
+	name := domain
+	if t := tldOf(domain); t != "" {
+		name = domain[:len(domain)-len(t)]
+	}
+	return titleCase(name)
+}
+
+// buildCampaigns wires ad networks and affiliates to retailer
+// destinations and builds redirect chains.
+func (w *World) buildCampaigns(rng *stats.RNG) {
+	w.campaignsByDest = map[string][]*Campaign{}
+	var retailers []*Site
+	for _, s := range w.sites {
+		if s.Kind == Retailer {
+			retailers = append(retailers, s)
+		}
+	}
+	if len(retailers) == 0 {
+		return
+	}
+	// Display campaigns concentrate on the bigger advertisers, so several
+	// campaigns share each destination and same-destination rotation has
+	// a pool to draw from.
+	adRetailers := retailers
+	if len(adRetailers) > 40 {
+		adRetailers = adRetailers[:40]
+	}
+
+	// Chain hosts available for multi-tracker chains.
+	var allClickHosts []string
+	for _, t := range w.adNetworks {
+		allClickHosts = append(allClickHosts, t.ClickHosts...)
+	}
+	for _, t := range w.affiliates {
+		allClickHosts = append(allClickHosts, t.ClickHosts...)
+	}
+
+	for _, t := range w.adNetworks {
+		n := 4 + rng.Intn(8)
+		for c := 0; c < n; c++ {
+			camp := &Campaign{
+				ID:    fmt.Sprintf("%s-c%d", t.Name, c),
+				Owner: t,
+				Dest:  stats.Pick(rng, adRetailers).Domain,
+				Ads:   2 + rng.Intn(4),
+				Extra: campaignExtras(rng, w.truth),
+			}
+			// Chain: usually the network's own click host(s), sometimes
+			// extended through partners, occasionally empty (direct ad
+			// click → retailer).
+			if !rng.Bool(0.15) {
+				camp.Chain = append(camp.Chain, t.ClickHosts...)
+				extra := rng.Geometric(1-w.cfg.ChainExtraP, w.cfg.MaxChain-len(camp.Chain))
+				for e := 0; e < extra; e++ {
+					camp.Chain = append(camp.Chain, stats.Pick(rng, allClickHosts))
+				}
+			}
+			t.Campaigns = append(t.Campaigns, camp)
+			w.allCampaigns = append(w.allCampaigns, camp)
+			w.campaignsByDest[camp.Dest] = append(w.campaignsByDest[camp.Dest], camp)
+		}
+	}
+
+	for _, t := range w.affiliates {
+		n := 3 + rng.Intn(6)
+		seen := map[string]bool{}
+		for c := 0; c < n; c++ {
+			d := stats.Pick(rng, retailers).Domain
+			if !seen[d] {
+				seen[d] = true
+				t.DestRetailers = append(t.DestRetailers, d)
+			}
+		}
+	}
+
+	// Destination-side collectors: every tracker that targets a retailer
+	// puts its own collector script there, storing its smuggled
+	// parameters with its own cookie lifetime.
+	collect := map[string]map[string]*Tracker{}
+	addCollector := func(dest string, t *Tracker) {
+		if collect[dest] == nil {
+			collect[dest] = map[string]*Tracker{}
+		}
+		collect[dest][t.Domain] = t
+	}
+	for _, t := range w.adNetworks {
+		for _, c := range t.Campaigns {
+			addCollector(c.Dest, t)
+		}
+	}
+	for _, t := range w.affiliates {
+		for _, d := range t.DestRetailers {
+			addCollector(d, t)
+		}
+	}
+	for dest, ts := range collect {
+		s := w.siteByDomain[dest]
+		var domains []string
+		for d := range ts {
+			domains = append(domains, d)
+		}
+		sort.Strings(domains)
+		for _, d := range domains {
+			s.Collectors = append(s.Collectors, ts[d])
+		}
+	}
+}
+
+// assignTrackersToSites places decorator scripts, analytics beacons and ad
+// slots on sites.
+func (w *World) assignTrackersToSites(rng *stats.RNG) {
+	pickWeighted := func(ts []*Tracker) *Tracker {
+		weights := make([]float64, len(ts))
+		for i, t := range ts {
+			weights[i] = t.Weight
+		}
+		return ts[rng.WeightedIndex(weights)]
+	}
+	for _, s := range w.sites {
+		s.fpDecorator = map[string]bool{}
+		// Analytics on almost everything.
+		na := 1 + rng.Intn(2)
+		seen := map[string]bool{}
+		for i := 0; i < na && len(w.analytics) > 0; i++ {
+			t := pickWeighted(w.analytics)
+			if !seen[t.Domain] {
+				seen[t.Domain] = true
+				s.Analytics = append(s.Analytics, t)
+			}
+		}
+		if s.Kind != Publisher {
+			continue
+		}
+		// Publishers: decorators and ad slots.
+		nd := 1 + rng.Intn(2)
+		seen = map[string]bool{}
+		for i := 0; i < nd && len(w.affiliates) > 0; i++ {
+			t := pickWeighted(w.affiliates)
+			if seen[t.Domain] {
+				continue
+			}
+			seen[t.Domain] = true
+			s.Decorators = append(s.Decorators, t)
+			if s.Fingerprinting && rng.Bool(0.8) {
+				s.fpDecorator[t.Domain] = true
+			}
+		}
+		nn := 1 + rng.Intn(2)
+		seen = map[string]bool{}
+		for i := 0; i < nn && len(w.adNetworks) > 0; i++ {
+			t := pickWeighted(w.adNetworks)
+			if !seen[t.Domain] {
+				seen[t.Domain] = true
+				s.AdNetworks = append(s.AdNetworks, t)
+			}
+		}
+		s.AdSlots = rng.Geometric(1/(1+w.cfg.AdSlotMean), 3)
+		s.ExtLinks = rng.Geometric(1/(1+w.cfg.ExternalLinkMean), 6)
+	}
+	// Retailers and portals still carry a couple of external links so
+	// walks continue from them.
+	for _, s := range w.sites {
+		if s.Kind != Publisher {
+			s.ExtLinks = rng.Intn(3)
+		}
+	}
+}
+
+// registerParams records every parameter name's ground truth.
+func (w *World) registerParams() {
+	for _, t := range w.trackers {
+		if t.Param != "" {
+			w.truth.registerParam(t.Param, ParamUID)
+		}
+		if t.MidParam != "" {
+			w.truth.registerParam(t.MidParam, ParamUID)
+		}
+	}
+	w.truth.registerParam("atok", ParamUID) // SSO auth token: a true UID
+	w.truth.registerParam("sid", ParamSession)
+	w.truth.registerParam("ts", ParamTimestamp)
+	w.truth.registerParam("d", ParamDest)
+	w.truth.registerParam("return", ParamDest)
+	w.truth.registerParam("url", ParamDest)
+	for _, p := range []string{"ref", "utm_campaign", "topic", "lang", "geo", "share", "cat", "camp", "cr"} {
+		w.truth.registerParam(p, ParamBenign)
+	}
+	for _, p := range []string{"aid", "sl", "pub", "via", "ad", "cb", "p"} {
+		w.truth.registerParam(p, ParamRouting)
+	}
+	// Dedicated-smuggler ground truth: ad and affiliate click hosts are
+	// pure redirector infrastructure — they have no purpose in a
+	// navigation path besides redirecting and carrying whatever UID
+	// parameters arrive. Even a non-smuggling network's click host can
+	// appear inside another network's smuggling chain and forward its
+	// UIDs, which is exactly the behaviour the paper's "dedicated
+	// smuggler" label describes.
+	for _, t := range w.adNetworks {
+		for _, h := range t.ClickHosts {
+			w.truth.markDedicated(h)
+		}
+	}
+	for _, t := range w.affiliates {
+		for _, h := range t.ClickHosts {
+			w.truth.markDedicated(h)
+		}
+	}
+	for _, s := range w.sites {
+		if s.SSOHost != "" {
+			w.truth.markSmuggler(s.SSOHost)
+		}
+		if s.ShortenerHost != "" && s.SyncTracker != nil {
+			w.truth.markSmuggler(s.ShortenerHost)
+		}
+	}
+}
+
+// installFaults configures connection failures for content sites,
+// exempting tracker infrastructure so redirect chains don't break mid-hop
+// (the paper's connect failures happen at step 1 of a walk, visiting the
+// site itself) and the most popular sites — hyper-popular domains are
+// essentially never down, and without this exemption a single faulted hub
+// would fail a disproportionate share of crawl steps.
+func (w *World) installFaults() {
+	f := netsim.NewFaultInjector(w.cfg.Seed, w.cfg.ConnectFailRate)
+	for _, t := range w.trackers {
+		f.Exempt(t.OwnedDomains...)
+	}
+	for _, s := range w.sites {
+		if s.Rank <= 15 {
+			f.Exempt(s.Domain)
+		}
+	}
+	// SSO and shortener hosts share the registered domain of their site,
+	// so they fail with it — acceptable: they ARE the site.
+	w.net.SetFaults(f)
+}

@@ -1,0 +1,109 @@
+// Package words holds the vocabulary shared by the synthetic-web generator
+// (which coins domain names, slugs and benign token values from it) and the
+// token pipeline's lexicon-based "manual review" stage (which recognises
+// natural-language tokens the way the paper's authors did by hand —
+// §3.7.2's "Dental_internal_whitepaper_topic", "sweetmagnolias",
+// "share_button" false positives).
+package words
+
+// Common is a list of ordinary English words used to build slugs, campaign
+// names and other benign token values.
+var Common = []string{
+	"about", "account", "action", "article", "autumn", "banner", "basket",
+	"beach", "board", "bonus", "bright", "bundle", "button", "campaign",
+	"castle", "checkout", "cloud", "coast", "coffee", "content", "corner",
+	"country", "coupon", "daily", "dental", "design", "digital", "dinner",
+	"discount", "dream", "editor", "energy", "event", "express", "family",
+	"fashion", "featured", "festival", "field", "finance", "flash", "flower",
+	"forest", "forward", "fresh", "friend", "garden", "gold", "grand",
+	"green", "guide", "harbor", "health", "hidden", "holiday", "home",
+	"internal", "island", "journal", "kitchen", "launch", "leader", "letter",
+	"light", "magnolia", "market", "meadow", "media", "member", "midnight",
+	"morning", "mountain", "nature", "news", "night", "ocean", "offer",
+	"office", "orange", "order", "outlet", "page", "partner", "pepper",
+	"picture", "pilot", "planet", "player", "pocket", "policy", "premium",
+	"profile", "promo", "purple", "rapid", "reader", "report", "review", "sale",
+	"river", "royal", "sample", "season", "secret", "section", "share",
+	"signal", "silver", "simple", "smart", "social", "special", "sport",
+	"spring", "square", "star", "stream", "street", "studio", "summer",
+	"sunset", "sweet", "topic", "total", "track", "trade", "travel",
+	"trusted", "update", "valley", "video", "village", "vision", "weather",
+	"weekly", "welcome", "whitepaper", "winter", "wonder", "world", "yellow",
+}
+
+// Brandish is a list of coined, brand-sounding fragments used for domain
+// names (they read like words but are not in Common, exercising the
+// "concatenated words with no delimiter" false-positive class).
+var Brandish = []string{
+	"ado", "axo", "bliq", "brev", "cart", "dex", "flux", "gno", "hup",
+	"ionix", "jolt", "kura", "lyn", "mova", "nuvo", "oxo", "pex", "quil",
+	"rix", "sana", "tivo", "ulo", "vant", "wix", "xel", "ynd", "zum",
+	"navi", "mail", "pulse", "metric", "route", "sync", "serve", "pixel",
+	"trail", "crumb", "spark", "shift", "loop", "beam", "forge", "nest",
+}
+
+// Locales is the language/region specifier vocabulary ("en-US" style
+// acronym tokens the paper's manual filter removes).
+var Locales = []string{
+	"en-US", "en-GB", "de-DE", "fr-FR", "es-ES", "pt-BR", "ru-RU",
+	"ja-JP", "zh-CN", "it-IT", "nl-NL", "sv-SE", "pl-PL", "ko-KR",
+}
+
+// Acronyms are short obvious acronym tokens.
+var Acronyms = []string{
+	"UTC", "GMT", "USD", "EUR", "GBP", "FAQ", "API", "RSS", "SEO",
+	"CPM", "CPC", "CTA", "B2B", "GDPR",
+}
+
+// IsCommon reports whether w (lowercase) is in the Common vocabulary.
+func IsCommon(w string) bool { return commonSet[w] }
+
+// IsBrandish reports whether w (lowercase) is a coined brand fragment.
+func IsBrandish(w string) bool { return brandishSet[w] }
+
+var commonSet = toSet(Common)
+var brandishSet = toSet(Brandish)
+
+func toSet(ws []string) map[string]bool {
+	m := make(map[string]bool, len(ws))
+	for _, w := range ws {
+		m[w] = true
+	}
+	return m
+}
+
+// SegmentWords greedily splits a lowercase alphabetic string into known
+// vocabulary words (longest match first). It returns the words and whether
+// the whole string was covered — the recogniser behind the manual filter's
+// "concatenated words with no delimiter" rule (e.g. "sweetmagnolias" →
+// sweet + magnolia + s).
+func SegmentWords(s string) (parts []string, ok bool) {
+	return segment(s, 0)
+}
+
+func segment(s string, depth int) ([]string, bool) {
+	if s == "" {
+		return nil, true
+	}
+	if depth > 16 {
+		return nil, false
+	}
+	// Longest-match-first keeps the common case linear.
+	max := len(s)
+	if max > 12 {
+		max = 12
+	}
+	for l := max; l >= 3; l-- {
+		w := s[:l]
+		if commonSet[w] || brandishSet[w] {
+			if rest, ok := segment(s[l:], depth+1); ok {
+				return append([]string{w}, rest...), true
+			}
+		}
+	}
+	// Allow a single trailing plural/letter.
+	if len(s) == 1 {
+		return []string{s}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,60 @@
+package words
+
+import "testing"
+
+func TestIsCommon(t *testing.T) {
+	if !IsCommon("share") || !IsCommon("whitepaper") {
+		t.Fatal("expected vocabulary words")
+	}
+	if IsCommon("zxqj") {
+		t.Fatal("nonsense accepted")
+	}
+}
+
+func TestSegmentWordsConcatenated(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"sweetmagnolias", true}, // sweet + magnolia + s
+		{"sharebutton", true},
+		{"navimail", true}, // brandish navi + mail
+		{"dentalinternalwhitepapertopic", true},
+		{"4f2a9c1b7d8e", false}, // hex UID
+		{"x9k2m", false},
+		{"", true},
+	}
+	for _, c := range cases {
+		_, ok := SegmentWords(c.in)
+		if ok != c.want {
+			t.Errorf("SegmentWords(%q) ok = %v, want %v", c.in, ok, c.want)
+		}
+	}
+}
+
+func TestSegmentWordsParts(t *testing.T) {
+	parts, ok := SegmentWords("sharebutton")
+	if !ok || len(parts) != 2 || parts[0] != "share" || parts[1] != "button" {
+		t.Fatalf("parts = %v ok=%v", parts, ok)
+	}
+}
+
+func TestVocabularyDisjointness(t *testing.T) {
+	for _, b := range Brandish {
+		if IsCommon(b) {
+			t.Errorf("brandish word %q also in Common (ambiguous lexicon)", b)
+		}
+	}
+}
+
+func TestSegmentDoesNotLoopOnLongInput(t *testing.T) {
+	long := ""
+	for i := 0; i < 50; i++ {
+		long += "share"
+	}
+	if _, ok := SegmentWords(long); ok {
+		// 50 words exceeds the depth bound; must simply return false,
+		// never hang.
+		t.Log("long input segmented (acceptable if within depth)")
+	}
+}

@@ -1,0 +1,115 @@
+package crumbcruncher
+
+import (
+	"encoding/json"
+	"io"
+
+	"crumbcruncher/internal/uid"
+)
+
+// Metrics is the machine-readable summary of a run: every headline
+// quantity from the paper's evaluation, suitable for dashboards, CI
+// tracking, or cross-run comparison. WriteMetricsJSON emits it.
+type Metrics struct {
+	Seed  int64 `json:"seed"`
+	Walks int   `json:"walks"`
+	Steps int   `json:"steps"`
+
+	// Headline (§5, §8).
+	SmugglingRate float64 `json:"smuggling_rate"`
+	BounceRate    float64 `json:"bounce_rate"`
+
+	// §3.3 failures.
+	NoCommonElementRate float64 `json:"no_common_element_rate"`
+	DivergentRate       float64 `json:"divergent_rate"`
+	ConnectFailRate     float64 `json:"connect_fail_rate"`
+
+	// Table 1.
+	Table1 map[string]int `json:"table1"`
+
+	// Table 2.
+	UniqueURLPaths             int `json:"unique_url_paths"`
+	UniqueURLPathsSmuggling    int `json:"unique_url_paths_smuggling"`
+	UniqueDomainPathsSmuggling int `json:"unique_domain_paths_smuggling"`
+	UniqueRedirectors          int `json:"unique_redirectors"`
+	DedicatedSmugglers         int `json:"dedicated_smugglers"`
+	MultiPurposeSmugglers      int `json:"multi_purpose_smugglers"`
+	UniqueOriginators          int `json:"unique_originators"`
+	UniqueDestinations         int `json:"unique_destinations"`
+
+	// §3.7 pipeline accounting.
+	Candidates        int `json:"candidates"`
+	ReachedManual     int `json:"reached_manual"`
+	ManuallyRemoved   int `json:"manually_removed"`
+	ConfirmedUIDCases int `json:"confirmed_uid_cases"`
+
+	// §3.7.1 lifetimes.
+	Under90DayFraction float64 `json:"uid_lifetime_under_90d_fraction"`
+	Under30DayFraction float64 `json:"uid_lifetime_under_30d_fraction"`
+
+	// §5.1 / §7.1 blocklist coverage.
+	DisconnectMissingFraction float64 `json:"disconnect_missing_fraction"`
+	EasyListBlockedFraction   float64 `json:"easylist_blocked_fraction"`
+
+	// §7.2 contributions.
+	UIDParamNames  []string `json:"uid_param_names"`
+	SmugglerHosts  []string `json:"dedicated_smuggler_hosts"`
+	SmugglingPaths int      `json:"smuggling_paths_observed"`
+}
+
+// ComputeMetrics extracts the run's headline quantities.
+func ComputeMetrics(r *Run) Metrics {
+	s := r.Analysis.Summarize()
+	fr := r.Analysis.FailureRates()
+	lt := uid.ComputeLifetimeStats(r.Cases, r.Lifetimes)
+	buckets := uid.BucketCounts(r.Cases)
+	t1 := make(map[string]int, len(buckets))
+	for b, n := range buckets {
+		t1[string(b)] = n
+	}
+	return Metrics{
+		Seed:  r.Config.World.Seed,
+		Walks: len(r.Dataset.Walks),
+		Steps: r.Dataset.StepCount(),
+
+		SmugglingRate: r.Analysis.SmugglingRate(),
+		BounceRate:    r.Analysis.BounceRate(),
+
+		NoCommonElementRate: fr.NoCommonElement,
+		DivergentRate:       fr.Divergent,
+		ConnectFailRate:     fr.ConnectError,
+
+		Table1: t1,
+
+		UniqueURLPaths:             s.UniqueURLPaths,
+		UniqueURLPathsSmuggling:    s.UniqueURLPathsSmuggling,
+		UniqueDomainPathsSmuggling: s.UniqueDomainPathsSmuggling,
+		UniqueRedirectors:          s.UniqueRedirectors,
+		DedicatedSmugglers:         s.DedicatedSmugglers,
+		MultiPurposeSmugglers:      s.MultiPurposeSmugglers,
+		UniqueOriginators:          s.UniqueOriginators,
+		UniqueDestinations:         s.UniqueDestinations,
+
+		Candidates:        r.Stats.Candidates,
+		ReachedManual:     r.Stats.AfterProgrammatic,
+		ManuallyRemoved:   r.Stats.ManuallyRemoved,
+		ConfirmedUIDCases: r.Stats.Final,
+
+		Under90DayFraction: lt.Under90Fraction(),
+		Under30DayFraction: lt.Under30Fraction(),
+
+		DisconnectMissingFraction: r.DisconnectDomains().MissingFraction(r.Analysis.DedicatedSmugglers()),
+		EasyListBlockedFraction:   r.EasyList().BlockedFraction(r.Analysis.SmugglingURLs()),
+
+		UIDParamNames:  r.Analysis.SmugglerParamNames(),
+		SmugglerHosts:  r.Analysis.DedicatedSmugglers(),
+		SmugglingPaths: s.UniqueURLPathsSmuggling,
+	}
+}
+
+// WriteMetricsJSON writes the run's metrics as indented JSON.
+func WriteMetricsJSON(w io.Writer, r *Run) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ComputeMetrics(r))
+}

@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the gate every change must
+# pass: it builds everything, vets, and runs the full test suite with the
+# race detector on — which exercises the parallel analysis pipeline's
+# determinism tests (Parallelism 1/4/16) under -race.
+
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Paper-scale benchmarks: every table/figure plus the parallel-analysis
+# speedup benchmark (BenchmarkAnalyzeParallel).
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -15,6 +15,7 @@ package crumbcruncher_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -737,4 +738,38 @@ func BenchmarkLimitationRefererSmuggling(b *testing.B) {
 	}
 	b.ReportMetric(float64(missed), "invisibleRefererTransfers")
 	b.ReportMetric(float64(len(r.Cases)), "visibleUIDCases")
+}
+
+// --- Parallel post-crawl analysis --------------------------------------------
+
+// BenchmarkAnalyzeParallel re-runs the entire post-crawl pipeline (path
+// reconstruction, candidate extraction, UID identification, aggregation)
+// over the paper-scale fixture crawl at worker-pool sizes 1 and NumCPU.
+// Results are bit-identical at every size (see
+// TestParallelAnalysisDeterminism); the parallel variant should show the
+// near-linear speedup the sharded pipeline is built for.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	r := fixture(b)
+	pars := []int{1, runtime.NumCPU()}
+	if runtime.NumCPU() == 1 {
+		// Single-core machine: the speedup is unmeasurable, but still
+		// benchmark the concurrent path so its overhead stays visible.
+		pars = []int{1, 4}
+	}
+	for _, par := range pars {
+		b.Run(fmt.Sprintf("parallelism-%d", par), func(b *testing.B) {
+			cfg := r.Config
+			cfg.Parallelism = par
+			b.ResetTimer()
+			var out *crumbcruncher.Run
+			for i := 0; i < b.N; i++ {
+				var err error
+				out, err = crumbcruncher.Reanalyze(cfg, r)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(out.Cases)), "uid-cases")
+		})
+	}
 }

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	crumbcruncher [-seed N] [-sites N] [-walks N] [-steps N] [-parallel N]
-//	              [-small] [-save crawl.json] [-out report.txt]
+//	              [-machines N] [-small] [-save crawl.json] [-out report.txt]
 package main
 
 import (
@@ -28,7 +28,8 @@ func main() {
 		sites    = flag.Int("sites", 0, "number of content sites (0: config default)")
 		walks    = flag.Int("walks", 0, "number of random walks (0: config default)")
 		steps    = flag.Int("steps", 0, "steps per walk (0: the paper's 10)")
-		parallel = flag.Int("parallel", 0, "concurrent walks (0: the paper's 12)")
+		parallel = flag.Int("parallel", 0, "worker-pool size for the crawl and the post-crawl analysis (0: config default)")
+		machines = flag.Int("machines", 0, "simulated crawl machines walks are spread across (0: config default)")
 		small    = flag.Bool("small", false, "use the small demo configuration")
 		savePath = flag.String("save", "", "save the crawl dataset to this JSON file")
 		outPath  = flag.String("out", "", "write the report here instead of stdout")
@@ -52,6 +53,9 @@ func main() {
 	}
 	if *parallel > 0 {
 		cfg.Parallelism = *parallel
+	}
+	if *machines > 0 {
+		cfg.Machines = *machines
 	}
 
 	start := time.Now()

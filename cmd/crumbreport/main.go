@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	crumbreport -in crawl.json [-two-crawlers] [-no-repeat]
+//	crumbreport -in crawl.json [-parallel N] [-two-crawlers] [-no-repeat]
 //	            [-lifetime-days N] [-ratcliff-slack F] [-skip-manual]
 package main
 
@@ -25,6 +25,7 @@ func main() {
 
 	var (
 		in       = flag.String("in", "", "saved crawl JSON (required)")
+		par      = flag.Int("parallel", 0, "analysis worker-pool size (0: the saved config's; results identical)")
 		twoCrawl = flag.Bool("two-crawlers", false, "prior-work baseline: use only Safari-1 and Safari-2")
 		noRepeat = flag.Bool("no-repeat", false, "disable session-ID elimination via Safari-1R")
 		lifetime = flag.Int("lifetime-days", 0, "prior-work baseline: discard tokens with cookie lifetime under N days")
@@ -40,6 +41,13 @@ func main() {
 	run, err := crumbcruncher.LoadRun(*in)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *par > 0 && *par != run.Config.Parallelism {
+		cfg := run.Config
+		cfg.Parallelism = *par
+		if run, err = crumbcruncher.Reanalyze(cfg, run); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	opt := crumbcruncher.IdentifyOptions{

@@ -70,6 +70,15 @@ func SmallConfig() Config { return core.SmallConfig() }
 // token pipeline, and returns the analysed run.
 func Execute(cfg Config) (*Run, error) { return core.Execute(cfg) }
 
+// Reanalyze re-runs the post-crawl analysis pipeline (path
+// reconstruction, candidate extraction, UID identification, aggregation)
+// over an existing run's recorded dataset under a new configuration —
+// e.g. a different Parallelism or identification options. The crawl is
+// not repeated; results are bit-identical for any Parallelism.
+func Reanalyze(cfg Config, r *Run) (*Run, error) {
+	return core.Analyze(cfg, r.World, r.Dataset)
+}
+
 // WriteReport renders the full evaluation report — every table and figure
 // — as text.
 func WriteReport(w io.Writer, r *Run) { report.Render(w, r) }

@@ -136,3 +136,43 @@ func TestComputeMetrics(t *testing.T) {
 		t.Fatal("JSON round trip changed metrics")
 	}
 }
+
+// TestParallelAnalysisDeterminism is the acceptance check for the
+// parallel post-crawl pipeline: re-analysing the same crawl at any
+// worker-pool size must produce bit-identical metrics. Runs under -race
+// via `make check`, which also exercises the merge paths for data races.
+func TestParallelAnalysisDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := crumbcruncher.SmallConfig()
+		cfg.World.Seed = seed
+		cfg.Walks = 40
+		cfg.Parallelism = 1
+		run, err := crumbcruncher.Execute(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var base strings.Builder
+		if err := crumbcruncher.WriteMetricsJSON(&base, run); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(base.String(), "confirmed_uid_cases") {
+			t.Fatalf("seed %d: metrics incomplete", seed)
+		}
+		for _, par := range []int{4, 16} {
+			pcfg := cfg
+			pcfg.Parallelism = par
+			prun, err := crumbcruncher.Reanalyze(pcfg, run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got strings.Builder
+			if err := crumbcruncher.WriteMetricsJSON(&got, prun); err != nil {
+				t.Fatal(err)
+			}
+			if got.String() != base.String() {
+				t.Errorf("seed %d: metrics at Parallelism=%d differ from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					seed, par, base.String(), got.String())
+			}
+		}
+	}
+}

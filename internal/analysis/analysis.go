@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"crumbcruncher/internal/crawler"
+	"crumbcruncher/internal/parallel"
 	"crumbcruncher/internal/tokens"
 	"crumbcruncher/internal/uid"
 )
@@ -52,8 +53,32 @@ type redirectorAgg struct {
 	domainPaths   map[string]bool
 }
 
-// New builds the analysis indexes.
+// New builds the analysis indexes sequentially.
 func New(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Case) *Analysis {
+	return NewParallel(ds, paths, cases, 1)
+}
+
+// pathPartial is one chunk's contribution to the unique-URL-path index:
+// per-key aggregates plus the chunk's first-occurrence key order, so the
+// ordered reduce can keep the globally-first path as each key's
+// representative — exactly what a sequential pass produces.
+type pathPartial struct {
+	order    []string
+	aggs     map[string]*pathAgg
+	endFQDNs map[string]bool
+}
+
+// redirPartial is one chunk's contribution to the redirector index.
+type redirPartial struct {
+	order []string
+	aggs  map[string]*redirectorAgg
+}
+
+// NewParallel builds the analysis indexes with the path and redirector
+// aggregations sharded across a bounded worker pool. Chunks are mapped
+// concurrently and reduced in chunk order; the result is bit-identical
+// to New for any parallelism.
+func NewParallel(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Case, parallelism int) *Analysis {
 	a := &Analysis{
 		ds:             ds,
 		paths:          paths,
@@ -71,37 +96,102 @@ func New(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Case) *Analysis
 			a.casesByPath[cand.Path] = append(a.casesByPath[cand.Path], c)
 		}
 	}
-	for _, p := range paths {
-		key := p.URLKey()
-		agg := a.urlPaths[key]
-		if agg == nil {
-			agg = &pathAgg{rep: p}
-			a.urlPaths[key] = agg
-		}
-		if a.smugglingPaths[p] {
-			agg.smuggling = true
-			agg.uidCount += len(a.casesByPath[p])
-		}
-		a.endFQDNs[p.Originator().Host] = true
-		a.endFQDNs[p.Destination().Host] = true
-	}
-	// Redirector aggregation over smuggling paths.
-	for p := range a.smugglingPaths {
-		for _, r := range p.Redirectors() {
-			agg := a.redirectors[r.Host]
+
+	// Map: aggregate unique URL paths per contiguous chunk.
+	chunks := parallel.Chunks(len(paths), parallelism)
+	pathParts := make([]*pathPartial, len(chunks))
+	parallel.ForEach(len(chunks), parallelism, func(ci int) {
+		ch := chunks[ci]
+		part := &pathPartial{aggs: map[string]*pathAgg{}, endFQDNs: map[string]bool{}}
+		for _, p := range paths[ch.Lo:ch.Hi] {
+			key := p.URLKey()
+			agg := part.aggs[key]
 			if agg == nil {
-				agg = &redirectorAgg{
-					originDomains: map[string]bool{},
-					destDomains:   map[string]bool{},
-					domainPaths:   map[string]bool{},
-				}
-				a.redirectors[r.Host] = agg
+				agg = &pathAgg{rep: p}
+				part.aggs[key] = agg
+				part.order = append(part.order, key)
 			}
-			agg.originDomains[p.Originator().Domain] = true
-			agg.destDomains[p.Destination().Domain] = true
-			agg.domainPaths[p.DomainKey()] = true
+			if a.smugglingPaths[p] {
+				agg.smuggling = true
+				agg.uidCount += len(a.casesByPath[p])
+			}
+			part.endFQDNs[p.Originator().Host] = true
+			part.endFQDNs[p.Destination().Host] = true
+		}
+		pathParts[ci] = part
+	})
+	// Reduce in chunk order: the first chunk to see a key contributes
+	// its representative; later chunks only fold in their counts.
+	for _, part := range pathParts {
+		for _, key := range part.order {
+			pagg := part.aggs[key]
+			agg := a.urlPaths[key]
+			if agg == nil {
+				a.urlPaths[key] = pagg
+				continue
+			}
+			agg.smuggling = agg.smuggling || pagg.smuggling
+			agg.uidCount += pagg.uidCount
+		}
+		for h := range part.endFQDNs {
+			a.endFQDNs[h] = true
 		}
 	}
+
+	// Redirector aggregation over smuggling paths (§5.1). Iterating the
+	// path slice (filtered to smuggling paths) instead of the smuggling
+	// set keeps the shards deterministic; the aggregates are set unions,
+	// so the merged result matches the sequential pass.
+	var smuggling []*tokens.Path
+	for _, p := range paths {
+		if a.smugglingPaths[p] {
+			smuggling = append(smuggling, p)
+		}
+	}
+	rchunks := parallel.Chunks(len(smuggling), parallelism)
+	redirParts := make([]*redirPartial, len(rchunks))
+	parallel.ForEach(len(rchunks), parallelism, func(ci int) {
+		ch := rchunks[ci]
+		part := &redirPartial{aggs: map[string]*redirectorAgg{}}
+		for _, p := range smuggling[ch.Lo:ch.Hi] {
+			for _, r := range p.Redirectors() {
+				agg := part.aggs[r.Host]
+				if agg == nil {
+					agg = &redirectorAgg{
+						originDomains: map[string]bool{},
+						destDomains:   map[string]bool{},
+						domainPaths:   map[string]bool{},
+					}
+					part.aggs[r.Host] = agg
+					part.order = append(part.order, r.Host)
+				}
+				agg.originDomains[p.Originator().Domain] = true
+				agg.destDomains[p.Destination().Domain] = true
+				agg.domainPaths[p.DomainKey()] = true
+			}
+		}
+		redirParts[ci] = part
+	})
+	for _, part := range redirParts {
+		for _, host := range part.order {
+			pagg := part.aggs[host]
+			agg := a.redirectors[host]
+			if agg == nil {
+				a.redirectors[host] = pagg
+				continue
+			}
+			for d := range pagg.originDomains {
+				agg.originDomains[d] = true
+			}
+			for d := range pagg.destDomains {
+				agg.destDomains[d] = true
+			}
+			for d := range pagg.domainPaths {
+				agg.domainPaths[d] = true
+			}
+		}
+	}
+
 	// Dedicated-smuggler classification (§5.1): multiple originator
 	// registered domains, multiple destination registered domains, and
 	// the FQDN never observed as an originator or destination.

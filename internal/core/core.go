@@ -28,21 +28,44 @@ type Config struct {
 	Walks int
 	// StepsPerWalk is the walk length (0: the paper's 10).
 	StepsPerWalk int
-	// Parallelism is the number of concurrent walks (0: 12, the paper's
-	// EC2 instance count).
+	// Parallelism bounds concurrency across the whole pipeline: the
+	// number of concurrent walks during the crawl and the worker-pool
+	// size of every post-crawl analysis stage (path reconstruction,
+	// candidate extraction, UID identification, aggregation). Every
+	// post-crawl stage is bit-identical for any value (see Reanalyze);
+	// the crawl itself is only run-repeatable at 1, because concurrent
+	// walks share the virtual clock whose readings reach page URLs. 0
+	// means sequential; DefaultConfig sets 12, the paper's EC2 count.
 	Parallelism int
-	// IframeBias is the controller's iframe preference (0: default).
+	// Machines is the number of simulated crawl machines the walks'
+	// fingerprint surfaces are spread across (§3.8). 0 or 1 keeps every
+	// walk on one machine; DefaultConfig sets the paper's 12 EC2
+	// instances.
+	Machines int
+	// IframeBias is the controller's iframe preference (0: the 0.3
+	// default; set NoIframes for a true zero).
 	IframeBias float64
+	// NoIframes forces a zero iframe preference, which IframeBias alone
+	// cannot express (its zero value selects the default bias).
+	NoIframes bool
 	// Identify configures UID identification (zero value: the paper's
 	// full method).
 	Identify uid.Options
+}
+
+// analysisParallelism is the worker-pool size for the post-crawl stages.
+func (cfg Config) analysisParallelism() int {
+	if cfg.Parallelism < 1 {
+		return 1
+	}
+	return cfg.Parallelism
 }
 
 // DefaultConfig returns the paper-scale configuration: the default world
 // with one walk per seeder domain.
 func DefaultConfig() Config {
 	w := web.DefaultConfig()
-	return Config{World: w, Walks: 2000, Parallelism: 12}
+	return Config{World: w, Walks: 2000, Parallelism: 12, Machines: 12}
 }
 
 // SmallConfig returns a fast configuration for tests and examples.
@@ -66,7 +89,18 @@ type Run struct {
 // Execute runs the full pipeline.
 func Execute(cfg Config) (*Run, error) {
 	world := web.BuildWorld(cfg.World)
-	ds, err := crawler.Crawl(crawler.Config{
+	ds, err := crawler.Crawl(cfg.crawlConfig(world))
+	if err != nil {
+		return nil, fmt.Errorf("core: crawl: %w", err)
+	}
+	return Analyze(cfg, world, ds)
+}
+
+// crawlConfig translates the run configuration into the crawler's: every
+// crawl-affecting knob (including Machines and NoIframes — see their
+// field docs) must pass through here rather than being hard-coded.
+func (cfg Config) crawlConfig(world *web.World) crawler.Config {
+	return crawler.Config{
 		Seed:         cfg.World.Seed,
 		Network:      world.Network(),
 		Seeders:      world.Seeders(),
@@ -74,24 +108,27 @@ func Execute(cfg Config) (*Run, error) {
 		StepsPerWalk: cfg.StepsPerWalk,
 		Parallelism:  cfg.Parallelism,
 		IframeBias:   cfg.IframeBias,
-		Machines:     12, // the paper's EC2 instance count
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: crawl: %w", err)
+		NoIframes:    cfg.NoIframes,
+		Machines:     cfg.Machines,
 	}
-	return Analyze(cfg, world, ds)
 }
 
 // Analyze runs the post-crawl pipeline over an existing dataset (used by
 // cmd/crumbreport to re-analyse saved crawls and by ablations to re-run
-// identification with different options).
+// identification with different options). Every stage is sharded over
+// cfg.Parallelism workers with deterministic merging, so the output is
+// bit-identical to a sequential pass.
 func Analyze(cfg Config, world *web.World, ds *crawler.Dataset) (*Run, error) {
-	paths := tokens.PathsFromDataset(ds)
-	cands := tokens.AllCandidates(paths)
+	par := cfg.analysisParallelism()
+	paths := tokens.PathsFromDatasetParallel(ds, par)
+	cands := tokens.AllCandidatesParallel(paths, par)
 	lifetimes := uid.BuildLifetimeIndex(ds)
 	opt := cfg.Identify
 	if opt.LifetimeOf == nil {
 		opt.LifetimeOf = lifetimes.Lifetime
+	}
+	if opt.Parallelism == 0 {
+		opt.Parallelism = par
 	}
 	cases, stats := uid.Identify(cands, opt)
 	return &Run{
@@ -102,7 +139,7 @@ func Analyze(cfg Config, world *web.World, ds *crawler.Dataset) (*Run, error) {
 		Candidates: cands,
 		Cases:      cases,
 		Stats:      stats,
-		Analysis:   analysis.New(ds, paths, cases),
+		Analysis:   analysis.NewParallel(ds, paths, cases, par),
 		Lifetimes:  lifetimes,
 	}, nil
 }
@@ -113,8 +150,12 @@ func (r *Run) Reidentify(opt uid.Options) ([]*uid.Case, uid.Stats, *analysis.Ana
 	if opt.LifetimeOf == nil {
 		opt.LifetimeOf = r.Lifetimes.Lifetime
 	}
+	par := r.Config.analysisParallelism()
+	if opt.Parallelism == 0 {
+		opt.Parallelism = par
+	}
 	cases, stats := uid.Identify(r.Candidates, opt)
-	return cases, stats, analysis.New(r.Dataset, r.Paths, cases)
+	return cases, stats, analysis.NewParallel(r.Dataset, r.Paths, cases, par)
 }
 
 // Attributor builds the paper's two-stage organisation attribution: the
@@ -153,10 +194,12 @@ type TruthEval struct {
 	FalsePositive int
 }
 
-// Precision returns TP / (TP + FP).
+// Precision returns TP / (TP + FP). With no cases at all it returns 1.0
+// (vacuous truth): an empty run made no false claims, and dashboards
+// should not read it as 0% precision.
 func (e TruthEval) Precision() float64 {
 	if e.Cases == 0 {
-		return 0
+		return 1
 	}
 	return float64(e.TruePositive) / float64(e.Cases)
 }
@@ -186,9 +229,17 @@ func (r *Run) EvaluateTruth() TruthEval {
 // evaluation-only code.
 func (r *Run) MissedRefererTransfers() int {
 	truth := r.World.Truth()
+	return CountRefererTransfers(r.Dataset, truth.IsUIDParam)
+}
+
+// CountRefererTransfers counts cross-site navigations whose Referer query
+// string carried a UID parameter (per isUID) that the navigation URL
+// itself did not. Every distinct value of a repeated parameter counts,
+// deduplicated per (walk, step, crawler, param, value).
+func CountRefererTransfers(ds *crawler.Dataset, isUID func(param string) bool) int {
 	seen := map[string]bool{}
 	count := 0
-	for _, w := range r.Dataset.Walks {
+	for _, w := range ds.Walks {
 		for _, s := range w.Steps {
 			for name, rec := range s.Records {
 				for _, req := range rec.Requests {
@@ -208,16 +259,20 @@ func (r *Run) MissedRefererTransfers() int {
 					}
 					targetQ := target.Query()
 					for param, vs := range ref.Query() {
-						if !truth.IsUIDParam(param) {
+						if !isUID(param) {
 							continue
 						}
 						if targetQ.Get(param) != "" {
 							continue // also in the URL: the pipeline sees it
 						}
-						key := fmt.Sprintf("%d/%d/%s/%s/%s", w.Index, s.Index, name, param, vs[0])
-						if !seen[key] {
-							seen[key] = true
-							count++
+						// Count every value of a repeated parameter, not
+						// just the first.
+						for _, v := range vs {
+							key := fmt.Sprintf("%d/%d/%s/%s/%s", w.Index, s.Index, name, param, v)
+							if !seen[key] {
+								seen[key] = true
+								count++
+							}
 						}
 					}
 				}

@@ -4,9 +4,11 @@ import (
 	"sync"
 	"testing"
 
+	"crumbcruncher/internal/browser"
 	"crumbcruncher/internal/countermeasures"
 	"crumbcruncher/internal/crawler"
 	"crumbcruncher/internal/uid"
+	"crumbcruncher/internal/web"
 )
 
 var (
@@ -354,5 +356,88 @@ func TestFailuresByStepNoTrend(t *testing.T) {
 		if row.Attempts > 0 && (row.NoCommonElement < 0 || row.NoCommonElement > 1) {
 			t.Fatalf("rate out of range: %+v", row)
 		}
+	}
+}
+
+func TestPrecisionVacuousTruth(t *testing.T) {
+	// An empty run made no false claims: precision is 1.0 (vacuous
+	// truth), not 0 — dashboards must not read "no cases" as "0%
+	// precise".
+	if p := (TruthEval{}).Precision(); p != 1 {
+		t.Fatalf("empty TruthEval precision = %v, want 1", p)
+	}
+	e := TruthEval{Cases: 4, TruePositive: 3, FalsePositive: 1}
+	if p := e.Precision(); p != 0.75 {
+		t.Fatalf("precision = %v, want 0.75", p)
+	}
+}
+
+func TestCountRefererTransfersMultiValuedParams(t *testing.T) {
+	// A Referer carrying the same UID parameter twice with different
+	// values is two distinct transfers; the same (param, value) pair
+	// seen twice in one step is one.
+	rec := &crawler.CrawlerStep{
+		Crawler: crawler.Safari1,
+		Requests: []browser.RequestRecord{
+			{
+				Kind:    browser.KindNavigation,
+				URL:     "http://dest.com/land",
+				Referer: "http://origin.com/page?uid=aaaa1111&uid=bbbb2222&lang=en",
+			},
+			{ // duplicate request: same values must not double-count
+				Kind:    browser.KindNavigation,
+				URL:     "http://dest.com/land",
+				Referer: "http://origin.com/page?uid=aaaa1111&uid=bbbb2222",
+			},
+			{ // same-site navigation: never counted
+				Kind:    browser.KindNavigation,
+				URL:     "http://origin.com/other",
+				Referer: "http://origin.com/page?uid=cccc3333",
+			},
+			{ // UID also present on the target URL: the pipeline sees it
+				Kind:    browser.KindNavigation,
+				URL:     "http://dest.com/land?uid=dddd4444",
+				Referer: "http://origin.com/page?uid=dddd4444",
+			},
+		},
+	}
+	ds := &crawler.Dataset{Walks: []*crawler.Walk{{
+		Index: 0,
+		Steps: []*crawler.Step{{
+			Walk: 0, Index: 1,
+			Records: map[string]*crawler.CrawlerStep{crawler.Safari1: rec},
+		}},
+	}}}
+	isUID := func(param string) bool { return param == "uid" }
+	if got := CountRefererTransfers(ds, isUID); got != 2 {
+		t.Fatalf("CountRefererTransfers = %d, want 2 (both values of the repeated param)", got)
+	}
+}
+
+func TestConfigMachinesPlumbed(t *testing.T) {
+	// DefaultConfig keeps the paper's 12 EC2 instances; SmallConfig must
+	// not spread 4 walks across 12 phantom fingerprint surfaces.
+	if got := DefaultConfig().Machines; got != 12 {
+		t.Fatalf("DefaultConfig().Machines = %d, want 12", got)
+	}
+	if got := SmallConfig().Machines; got != 0 {
+		t.Fatalf("SmallConfig().Machines = %d, want 0 (single machine)", got)
+	}
+	// The knob must reach the crawl rather than being hard-coded: the
+	// crawler config Execute builds must carry exactly the configured
+	// machine count (a previous version pinned 12 for every run).
+	cfg := SmallConfig()
+	cfg.Machines = 5
+	cfg.NoIframes = true
+	world := web.BuildWorld(cfg.World)
+	ccfg := cfg.crawlConfig(world)
+	if ccfg.Machines != 5 {
+		t.Fatalf("crawlConfig Machines = %d, want 5", ccfg.Machines)
+	}
+	if !ccfg.NoIframes {
+		t.Fatal("crawlConfig dropped NoIframes")
+	}
+	if ccfg.Seed != cfg.World.Seed || ccfg.Walks != cfg.Walks || ccfg.Parallelism != cfg.Parallelism {
+		t.Fatalf("crawlConfig mistranslated: %+v", ccfg)
 	}
 }

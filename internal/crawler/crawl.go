@@ -37,8 +37,13 @@ type Config struct {
 	// (paper: 10 seconds of request recording).
 	DwellSeconds int
 	// IframeBias is the controller's preference for iframes over
-	// cross-domain anchors.
+	// cross-domain anchors (0: the 0.3 default; set NoIframes for a true
+	// zero).
 	IframeBias float64
+	// NoIframes forces a zero iframe preference. The IframeBias zero
+	// value selects the default bias, so an ablation explicitly
+	// requesting no iframe preference must set this instead.
+	NoIframes bool
 	// Heuristics selects the element-matching heuristics (ablations).
 	Heuristics Heuristics
 	// DirectController bypasses the HTTP transport and calls the
@@ -69,7 +74,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.DwellSeconds <= 0 {
 		cfg.DwellSeconds = 10
 	}
-	if cfg.IframeBias == 0 {
+	if cfg.NoIframes {
+		cfg.IframeBias = 0
+	} else if cfg.IframeBias == 0 {
 		cfg.IframeBias = 0.3
 	}
 	if cfg.Heuristics == (Heuristics{}) {

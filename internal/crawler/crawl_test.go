@@ -325,3 +325,104 @@ func TestWalksSpreadAcrossMachines(t *testing.T) {
 		t.Fatalf("walks = %d", len(ds.Walks))
 	}
 }
+
+func TestConfigIframeBiasDefaults(t *testing.T) {
+	// Zero value takes the default bias.
+	if got := (Config{}).withDefaults().IframeBias; got != 0.3 {
+		t.Fatalf("default IframeBias = %v, want 0.3", got)
+	}
+	// An explicit bias survives.
+	if got := (Config{IframeBias: 0.7}).withDefaults().IframeBias; got != 0.7 {
+		t.Fatalf("explicit IframeBias = %v, want 0.7", got)
+	}
+	// NoIframes expresses a true zero, which IframeBias == 0 cannot
+	// (regression: it used to be silently rewritten to 0.3).
+	if got := (Config{NoIframes: true}).withDefaults().IframeBias; got != 0 {
+		t.Fatalf("NoIframes IframeBias = %v, want 0", got)
+	}
+	// NoIframes overrides a contradictory explicit bias too.
+	if got := (Config{NoIframes: true, IframeBias: 0.9}).withDefaults().IframeBias; got != 0 {
+		t.Fatalf("NoIframes with explicit bias = %v, want 0", got)
+	}
+}
+
+func TestCrawlNoIframesReducesIframeClicks(t *testing.T) {
+	// IframeBias is the probability of preferring an iframe when
+	// cross-domain anchors are also available, so a zero bias still
+	// clicks iframes when they are the only choice — but must click
+	// strictly fewer than the 0.3 default over enough walks.
+	iframeClicks := func(seed int64, noIframes bool) int {
+		cfg := web.SmallConfig()
+		cfg.Seed = seed
+		cfg.ConnectFailRate = 0
+		w := web.BuildWorld(cfg)
+		ds, err := Crawl(Config{
+			Seed:             cfg.Seed,
+			Network:          w.Network(),
+			Seeders:          w.Seeders(),
+			Walks:            40,
+			NoIframes:        noIframes,
+			DirectController: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, walk := range ds.Walks {
+			for _, s := range walk.Steps {
+				if rec := s.Records[Safari1]; rec != nil && rec.Clicked != nil && rec.Clicked.Kind == "iframe" {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	// The crawl is deterministic per seed, so this comparison is stable;
+	// summing over seeds averages out trajectory divergence.
+	withBias, without := 0, 0
+	for seed := int64(1); seed <= 3; seed++ {
+		withBias += iframeClicks(seed, false)
+		without += iframeClicks(seed, true)
+	}
+	if without >= withBias {
+		t.Fatalf("iframe clicks: NoIframes=%d, default bias=%d — zero preference had no effect", without, withBias)
+	}
+}
+
+func TestPutStepOutOfOrderInsertion(t *testing.T) {
+	// Crawlers report steps concurrently, so putStep must be able to
+	// materialise a later step before earlier ones have records — and
+	// keep indices consistent when the stragglers arrive.
+	ws := &walkState{walk: &Walk{Index: 7}}
+	ws.putStep(3, Safari1, &CrawlerStep{Crawler: Safari1, StartURL: "http://a.com/3"})
+	ws.putStep(1, Chrome3, &CrawlerStep{Crawler: Chrome3, StartURL: "http://a.com/1"})
+	ws.putStep(2, Safari2, &CrawlerStep{Crawler: Safari2, StartURL: "http://a.com/2"})
+	ws.putStep(1, Safari1, &CrawlerStep{Crawler: Safari1, StartURL: "http://a.com/1"})
+
+	if len(ws.walk.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3", len(ws.walk.Steps))
+	}
+	for i, s := range ws.walk.Steps {
+		if s.Index != i+1 {
+			t.Fatalf("step %d has Index %d", i, s.Index)
+		}
+		if s.Walk != 7 {
+			t.Fatalf("step %d has Walk %d, want 7", i, s.Walk)
+		}
+		if s.Records == nil {
+			t.Fatalf("step %d has nil Records", i)
+		}
+	}
+	if rec := ws.walk.Steps[2].Records[Safari1]; rec == nil || rec.StartURL != "http://a.com/3" {
+		t.Fatalf("step 3 record misplaced: %+v", rec)
+	}
+	if rec := ws.walk.Steps[0].Records[Chrome3]; rec == nil || rec.StartURL != "http://a.com/1" {
+		t.Fatalf("step 1 Chrome-3 record misplaced: %+v", rec)
+	}
+	if rec := ws.walk.Steps[0].Records[Safari1]; rec == nil || rec.StartURL != "http://a.com/1" {
+		t.Fatalf("step 1 Safari-1 straggler misplaced: %+v", rec)
+	}
+	if rec := ws.walk.Steps[1].Records[Safari2]; rec == nil || rec.StartURL != "http://a.com/2" {
+		t.Fatalf("step 2 record misplaced: %+v", rec)
+	}
+}

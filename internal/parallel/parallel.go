@@ -1,0 +1,89 @@
+// Package parallel provides the bounded worker pool the post-crawl
+// pipeline stages share. The contract every caller follows: workers write
+// results into pre-sized, index-addressed slots (never append to shared
+// state), and the caller reduces those slots in index order afterwards —
+// so the merged output is bit-identical to a sequential pass regardless
+// of GOMAXPROCS or scheduling.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Workers clamps a parallelism knob to [1, n] for n work items. Zero and
+// negative values mean "sequential".
+func Workers(p, n int) int {
+	if p < 1 {
+		return 1
+	}
+	if n >= 1 && p > n {
+		return n
+	}
+	return p
+}
+
+// ForEach invokes fn(i) for every i in [0, n) using at most p concurrent
+// workers. Items are handed out in index order from a shared counter, so
+// the pool stays busy even when item costs are skewed. With p <= 1 it
+// degenerates to a plain loop on the calling goroutine.
+func ForEach(n, p int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	p = Workers(p, n)
+	if p == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Chunk is a half-open index range [Lo, Hi) of the input slice.
+type Chunk struct {
+	Lo, Hi int
+}
+
+// Chunks splits n items into at most p contiguous ranges of near-equal
+// size, in index order. Map-side aggregation runs one worker per chunk;
+// the reduce walks the chunks in this order, which keeps first-occurrence
+// semantics (e.g. a representative path per unique key) identical to a
+// sequential pass.
+func Chunks(n, p int) []Chunk {
+	p = Workers(p, n)
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Chunk, 0, p)
+	size := n / p
+	rem := n % p
+	lo := 0
+	for i := 0; i < p; i++ {
+		hi := lo + size
+		if i < rem {
+			hi++
+		}
+		if hi > lo {
+			out = append(out, Chunk{Lo: lo, Hi: hi})
+		}
+		lo = hi
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"crumbcruncher/internal/crawler"
+	"crumbcruncher/internal/parallel"
 	"crumbcruncher/internal/publicsuffix"
 )
 
@@ -96,38 +97,65 @@ func regDomain(host string) string {
 // (§3.3: "We still include data from this unsynchronized step in our
 // analyses").
 func PathsFromDataset(ds *crawler.Dataset) []*Path {
+	return PathsFromDatasetParallel(ds, 1)
+}
+
+// PathsFromDatasetParallel is PathsFromDataset sharded across walks over
+// a bounded worker pool. Each walk's paths are reconstructed
+// independently and concatenated in walk-slice order, so the output is
+// identical to the sequential pass for any parallelism.
+func PathsFromDatasetParallel(ds *crawler.Dataset, parallelism int) []*Path {
 	names := ds.Crawlers
 	if len(names) == 0 {
 		names = crawler.AllCrawlers
 	}
+	perWalk := make([][]*Path, len(ds.Walks))
+	parallel.ForEach(len(ds.Walks), parallelism, func(i int) {
+		perWalk[i] = pathsFromWalk(ds.Walks[i], names)
+	})
+	total := 0
+	for _, ps := range perWalk {
+		total += len(ps)
+	}
+	out := make([]*Path, 0, total)
+	for _, ps := range perWalk {
+		out = append(out, ps...)
+	}
+	return out
+}
+
+// pathsFromWalk reconstructs one walk's navigation paths in (step,
+// crawler) order.
+func pathsFromWalk(w *crawler.Walk, names []string) []*Path {
 	var out []*Path
-	for _, w := range ds.Walks {
-		for _, s := range w.Steps {
-			for _, name := range names {
-				rec := s.Records[name]
-				if rec == nil || rec.StartURL == "" || len(rec.NavChain) == 0 {
-					continue
-				}
-				p := &Path{Walk: w.Index, Step: s.Index, Crawler: name, Profile: rec.Profile}
-				if n, ok := nodeFrom(rec.StartURL); ok {
-					p.Nodes = append(p.Nodes, n)
-				} else {
-					continue
-				}
-				bad := false
-				for _, hop := range rec.NavChain {
-					n, ok := nodeFrom(hop.URL)
-					if !ok {
-						bad = true
-						break
-					}
-					p.Nodes = append(p.Nodes, n)
-				}
-				if bad || len(p.Nodes) < 2 {
-					continue
-				}
-				out = append(out, p)
+	if w == nil {
+		return nil
+	}
+	for _, s := range w.Steps {
+		for _, name := range names {
+			rec := s.Records[name]
+			if rec == nil || rec.StartURL == "" || len(rec.NavChain) == 0 {
+				continue
 			}
+			p := &Path{Walk: w.Index, Step: s.Index, Crawler: name, Profile: rec.Profile}
+			if n, ok := nodeFrom(rec.StartURL); ok {
+				p.Nodes = append(p.Nodes, n)
+			} else {
+				continue
+			}
+			bad := false
+			for _, hop := range rec.NavChain {
+				n, ok := nodeFrom(hop.URL)
+				if !ok {
+					bad = true
+					break
+				}
+				p.Nodes = append(p.Nodes, n)
+			}
+			if bad || len(p.Nodes) < 2 {
+				continue
+			}
+			out = append(out, p)
 		}
 	}
 	return out
@@ -197,9 +225,24 @@ func FindCandidates(p *Path) []*Candidate {
 
 // AllCandidates runs FindCandidates over every path.
 func AllCandidates(paths []*Path) []*Candidate {
-	var out []*Candidate
-	for _, p := range paths {
-		out = append(out, FindCandidates(p)...)
+	return AllCandidatesParallel(paths, 1)
+}
+
+// AllCandidatesParallel runs FindCandidates over every path with a
+// bounded worker pool, merging per-path results in path order — the
+// output is identical to AllCandidates for any parallelism.
+func AllCandidatesParallel(paths []*Path, parallelism int) []*Candidate {
+	perPath := make([][]*Candidate, len(paths))
+	parallel.ForEach(len(paths), parallelism, func(i int) {
+		perPath[i] = FindCandidates(paths[i])
+	})
+	total := 0
+	for _, cs := range perPath {
+		total += len(cs)
+	}
+	out := make([]*Candidate, 0, total)
+	for _, cs := range perPath {
+		out = append(out, cs...)
 	}
 	return out
 }

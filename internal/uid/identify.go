@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"crumbcruncher/internal/crawler"
+	"crumbcruncher/internal/parallel"
 	"crumbcruncher/internal/textmatch"
 	"crumbcruncher/internal/tokens"
 )
@@ -58,6 +59,10 @@ type Options struct {
 	SameSlack float64
 	// SkipManual disables the lexicon review stage.
 	SkipManual bool
+	// Parallelism bounds the worker pool classifying candidate groups
+	// (0 or 1: sequential). It is runtime wiring, not configuration:
+	// results are bit-identical for any value.
+	Parallelism int `json:"-"`
 }
 
 func (o Options) crawlerSet() map[string]bool {
@@ -168,8 +173,30 @@ func (o Options) same(a, b string) bool {
 	return textmatch.SameWithin(a, b, o.SameSlack)
 }
 
+// verdictKind is the fate classifyGroup assigned to a group.
+type verdictKind int8
+
+const (
+	verdictKeep verdictKind = iota
+	verdictSameAcrossUsers
+	verdictSessionByRepeat
+	verdictSessionByTTL
+	verdictProgrammatic
+	verdictManual
+)
+
+// groupVerdict is one group's classification outcome. Groups are
+// classified independently (the fan-out unit of the parallel pipeline)
+// and reduced into Stats and the case list in group order.
+type groupVerdict struct {
+	kind   verdictKind
+	reason tokens.FilterReason // set for verdictProgrammatic
+	c      *Case               // set for verdictKeep
+}
+
 // Identify runs the full §3.7 procedure and returns the confirmed UID
-// cases with bookkeeping statistics.
+// cases with bookkeeping statistics. Per-group work runs concurrently
+// when opt.Parallelism > 1; the result is bit-identical regardless.
 func Identify(cands []*tokens.Candidate, opt Options) ([]*Case, Stats) {
 	include := opt.crawlerSet()
 	stats := Stats{Programmatic: map[tokens.FilterReason]int{}}
@@ -177,46 +204,69 @@ func Identify(cands []*tokens.Candidate, opt Options) ([]*Case, Stats) {
 	groups := GroupCandidates(cands, opt)
 	stats.Groups = len(groups)
 
+	verdicts := make([]groupVerdict, len(groups))
+	parallel.ForEach(len(groups), opt.Parallelism, func(i int) {
+		verdicts[i] = classifyGroup(groups[i], opt, include)
+	})
+
+	// Ordered reduce: accumulate statistics and confirmed cases in group
+	// order, exactly as the sequential loop did.
 	var cases []*Case
-	for _, g := range groups {
-		// Rule 1: a value shared by two different profiles is not a UID
-		// (§3.7.2 rule 1; also covers the static case of §3.7.1).
-		if g.sharedAcrossProfiles(opt) {
+	for _, v := range verdicts {
+		switch v.kind {
+		case verdictSameAcrossUsers:
 			stats.SameAcrossUsers++
-			continue
-		}
-		// Rule 2: the identical pair observed different values — a
-		// session ID (§3.7.1, §3.7.2 rule 2).
-		if !opt.DisableRepeatCrawler && include[crawler.Safari1] && include[crawler.Safari1R] {
-			v1 := g.valuesOf(crawler.Safari1)
-			v1r := g.valuesOf(crawler.Safari1R)
-			if len(v1) > 0 && len(v1r) > 0 && !anyCommon(v1, v1r, opt) {
-				stats.SessionByRepeat++
-				continue
-			}
-		}
-		// Prior-work lifetime heuristic (baseline only).
-		if opt.LifetimeThreshold > 0 && opt.LifetimeOf != nil {
-			if lt, ok := opt.LifetimeOf(g.anyValue()); ok && lt < opt.LifetimeThreshold {
-				stats.SessionByTTL++
-				continue
-			}
-		}
-		// Programmatic filters.
-		if reason := tokens.ProgrammaticFilter(g.anyValue()); reason != tokens.KeepToken {
-			stats.Programmatic[reason]++
-			continue
-		}
-		stats.AfterProgrammatic++
-		// Lexicon review (the paper's manual stage).
-		if !opt.SkipManual && tokens.ManualReview(g.anyValue()) {
+		case verdictSessionByRepeat:
+			stats.SessionByRepeat++
+		case verdictSessionByTTL:
+			stats.SessionByTTL++
+		case verdictProgrammatic:
+			stats.Programmatic[v.reason]++
+		case verdictManual:
+			stats.AfterProgrammatic++
 			stats.ManuallyRemoved++
-			continue
+		case verdictKeep:
+			stats.AfterProgrammatic++
+			cases = append(cases, v.c)
 		}
-		cases = append(cases, g.toCase(opt))
 	}
 	stats.Final = len(cases)
 	return cases, stats
+}
+
+// classifyGroup applies the §3.7 rules to one group. It only reads the
+// group and shared read-only state (options, lifetime index), so calls
+// are safe to run concurrently.
+func classifyGroup(g *Group, opt Options, include map[string]bool) groupVerdict {
+	// Rule 1: a value shared by two different profiles is not a UID
+	// (§3.7.2 rule 1; also covers the static case of §3.7.1).
+	if g.sharedAcrossProfiles(opt) {
+		return groupVerdict{kind: verdictSameAcrossUsers}
+	}
+	// Rule 2: the identical pair observed different values — a
+	// session ID (§3.7.1, §3.7.2 rule 2).
+	if !opt.DisableRepeatCrawler && include[crawler.Safari1] && include[crawler.Safari1R] {
+		v1 := g.valuesOf(crawler.Safari1)
+		v1r := g.valuesOf(crawler.Safari1R)
+		if len(v1) > 0 && len(v1r) > 0 && !anyCommon(v1, v1r, opt) {
+			return groupVerdict{kind: verdictSessionByRepeat}
+		}
+	}
+	// Prior-work lifetime heuristic (baseline only).
+	if opt.LifetimeThreshold > 0 && opt.LifetimeOf != nil {
+		if lt, ok := opt.LifetimeOf(g.anyValue()); ok && lt < opt.LifetimeThreshold {
+			return groupVerdict{kind: verdictSessionByTTL}
+		}
+	}
+	// Programmatic filters.
+	if reason := tokens.ProgrammaticFilter(g.anyValue()); reason != tokens.KeepToken {
+		return groupVerdict{kind: verdictProgrammatic, reason: reason}
+	}
+	// Lexicon review (the paper's manual stage).
+	if !opt.SkipManual && tokens.ManualReview(g.anyValue()) {
+		return groupVerdict{kind: verdictManual}
+	}
+	return groupVerdict{kind: verdictKeep, c: g.toCase(opt)}
 }
 
 // sharedAcrossProfiles reports whether any value is observed by two

@@ -51,10 +51,10 @@ type Metrics struct {
 	DisconnectMissingFraction float64 `json:"disconnect_missing_fraction"`
 	EasyListBlockedFraction   float64 `json:"easylist_blocked_fraction"`
 
-	// §7.2 contributions.
-	UIDParamNames  []string `json:"uid_param_names"`
-	SmugglerHosts  []string `json:"dedicated_smuggler_hosts"`
-	SmugglingPaths int      `json:"smuggling_paths_observed"`
+	// §7.2 contributions. (The unique smuggling path count lives in
+	// UniqueURLPathsSmuggling; a former duplicate field was removed.)
+	UIDParamNames []string `json:"uid_param_names"`
+	SmugglerHosts []string `json:"dedicated_smuggler_hosts"`
 }
 
 // ComputeMetrics extracts the run's headline quantities.
@@ -101,9 +101,8 @@ func ComputeMetrics(r *Run) Metrics {
 		DisconnectMissingFraction: r.DisconnectDomains().MissingFraction(r.Analysis.DedicatedSmugglers()),
 		EasyListBlockedFraction:   r.EasyList().BlockedFraction(r.Analysis.SmugglingURLs()),
 
-		UIDParamNames:  r.Analysis.SmugglerParamNames(),
-		SmugglerHosts:  r.Analysis.DedicatedSmugglers(),
-		SmugglingPaths: s.UniqueURLPathsSmuggling,
+		UIDParamNames: r.Analysis.SmugglerParamNames(),
+		SmugglerHosts: r.Analysis.DedicatedSmugglers(),
 	}
 }
 

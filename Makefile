@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-all
 
 check: build vet race
 
@@ -21,7 +21,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The tracked benchmark pair (full crawl + parallel re-analysis),
+# archived as BENCH_pr2.json for cross-run comparison.
+bench:
+	scripts/bench.sh
+
 # Paper-scale benchmarks: every table/figure plus the parallel-analysis
 # speedup benchmark (BenchmarkAnalyzeParallel).
-bench:
+bench-all:
 	$(GO) test -bench=. -benchmem ./...

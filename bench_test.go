@@ -461,6 +461,26 @@ func BenchmarkPathCandidates(b *testing.B) {
 	}
 }
 
+// BenchmarkCrawl runs the full small-config pipeline per iteration —
+// world build, four-crawler crawl and post-crawl analysis. It is the
+// end-to-end number scripts/bench.sh archives, and the one an
+// instrumentation change would regress first.
+func BenchmarkCrawl(b *testing.B) {
+	cfg := crumbcruncher.SmallConfig()
+	var run *crumbcruncher.Run
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		run, err = crumbcruncher.Execute(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(run.Dataset.StepCount()), "steps")
+	b.ReportMetric(float64(len(run.Cases)), "uid-cases")
+}
+
 func BenchmarkCrawlWalk(b *testing.B) {
 	cfg := web.SmallConfig()
 	cfg.ConnectFailRate = 0

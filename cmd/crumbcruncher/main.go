@@ -6,6 +6,7 @@
 //
 //	crumbcruncher [-seed N] [-sites N] [-walks N] [-steps N] [-parallel N]
 //	              [-machines N] [-small] [-save crawl.json] [-out report.txt]
+//	              [-trace trace.jsonl] [-progress] [-pprof localhost:6060]
 package main
 
 import (
@@ -13,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -24,16 +27,19 @@ func main() {
 	log.SetPrefix("crumbcruncher: ")
 
 	var (
-		seed     = flag.Int64("seed", 1, "world seed (every run with the same seed and flags is identical)")
-		sites    = flag.Int("sites", 0, "number of content sites (0: config default)")
-		walks    = flag.Int("walks", 0, "number of random walks (0: config default)")
-		steps    = flag.Int("steps", 0, "steps per walk (0: the paper's 10)")
-		parallel = flag.Int("parallel", 0, "worker-pool size for the crawl and the post-crawl analysis (0: config default)")
-		machines = flag.Int("machines", 0, "simulated crawl machines walks are spread across (0: config default)")
-		small    = flag.Bool("small", false, "use the small demo configuration")
-		savePath = flag.String("save", "", "save the crawl dataset to this JSON file")
-		outPath  = flag.String("out", "", "write the report here instead of stdout")
-		metrics  = flag.Bool("metrics", false, "emit machine-readable JSON metrics instead of the text report")
+		seed      = flag.Int64("seed", 1, "world seed (every run with the same seed and flags is identical)")
+		sites     = flag.Int("sites", 0, "number of content sites (0: config default)")
+		walks     = flag.Int("walks", 0, "number of random walks (0: config default)")
+		steps     = flag.Int("steps", 0, "steps per walk (0: the paper's 10)")
+		parallel  = flag.Int("parallel", 0, "worker-pool size for the crawl and the post-crawl analysis (0: config default)")
+		machines  = flag.Int("machines", 0, "simulated crawl machines walks are spread across (0: config default)")
+		small     = flag.Bool("small", false, "use the small demo configuration")
+		savePath  = flag.String("save", "", "save the crawl dataset to this JSON file")
+		outPath   = flag.String("out", "", "write the report here instead of stdout")
+		metrics   = flag.Bool("metrics", false, "emit machine-readable JSON metrics instead of the text report")
+		traceOut  = flag.String("trace", "", "enable telemetry and export the span trace to this JSONL file (inspect with crumbtrace)")
+		progress  = flag.Bool("progress", false, "enable telemetry and report crawl progress on stderr")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -58,15 +64,42 @@ func main() {
 		cfg.Machines = *machines
 	}
 
+	// Telemetry is observation-only: results are identical with it on or
+	// off, so it is attached exactly when some flag consumes it.
+	var tel *crumbcruncher.Telemetry
+	if *traceOut != "" || *progress {
+		tel = crumbcruncher.NewTelemetry()
+		cfg.Telemetry = tel
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "crawling %d walks over %d sites (seed %d)...\n",
 		cfg.Walks, cfg.World.NumSites, cfg.World.Seed)
+	stopProgress := func() {}
+	if *progress {
+		stopProgress = reportProgress(tel)
+	}
 	run, err := crumbcruncher.Execute(cfg)
+	stopProgress()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "crawl + analysis finished in %v: %d steps, %d candidate tokens, %d confirmed UIDs\n",
 		time.Since(start).Round(time.Millisecond), run.Dataset.StepCount(), len(run.Candidates), len(run.Cases))
+	if *traceOut != "" {
+		if err := crumbcruncher.WriteTrace(*traceOut, tel); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d spans)\n", *traceOut, tel.Tracer().Total())
+	}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -90,5 +123,35 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "dataset saved to %s\n", *savePath)
+	}
+}
+
+// reportProgress prints crawl progress to stderr once a second until the
+// returned stop function is called. It reads only telemetry instruments,
+// so it never perturbs the crawl.
+func reportProgress(tel *crumbcruncher.Telemetry) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				walksDone := tel.Counter("crawler.walks_done").Value()
+				walksTotal := tel.Gauge("crawler.walks_total").Value()
+				reqs := tel.Counter("netsim.requests").Value()
+				fails := tel.Counter("netsim.failures").Value()
+				fmt.Fprintf(os.Stderr, "progress: %d/%d walks, %d requests (%d failed)\n",
+					walksDone, walksTotal, reqs, fails)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"crumbcruncher/internal/countermeasures"
 	"crumbcruncher/internal/crawler"
 	"crumbcruncher/internal/report"
+	"crumbcruncher/internal/telemetry"
 	"crumbcruncher/internal/uid"
 	"crumbcruncher/internal/web"
 )
@@ -83,23 +84,54 @@ func Reanalyze(cfg Config, r *Run) (*Run, error) {
 // — as text.
 func WriteReport(w io.Writer, r *Run) { report.Render(w, r) }
 
+// --- Observability ----------------------------------------------------------
+
+// Telemetry is the pipeline's observability handle: a span tracer stamped
+// from the virtual clock plus a registry of counters, gauges and
+// histograms. Attach one via Config.Telemetry; a nil handle disables all
+// instrumentation at zero cost, and enabling it never changes run
+// results.
+type Telemetry = telemetry.Telemetry
+
+// Provenance is the self-describing header embedded in saved runs: seed,
+// config hash, build identity and (when a run was traced) a telemetry
+// summary.
+type Provenance = telemetry.Provenance
+
+// TraceSummary aggregates an exported trace (see cmd/crumbtrace).
+type TraceSummary = telemetry.TraceSummary
+
+// NewTelemetry returns a telemetry handle with the default span
+// capacity. The virtual clock attaches automatically when Execute wires
+// the handle to the network.
+func NewTelemetry() *Telemetry { return telemetry.New(nil, telemetry.DefaultSpanCapacity) }
+
+// WriteTrace exports a traced run's spans as JSONL for cmd/crumbtrace.
+func WriteTrace(path string, t *Telemetry) error {
+	return t.Tracer().WriteJSONLFile(path)
+}
+
 // SavedRun is the on-disk form of a crawl: the configuration (to rebuild
-// the deterministic world) plus the recorded dataset.
+// the deterministic world), the recorded dataset, and a provenance block
+// describing how and by what the file was produced.
 type SavedRun struct {
-	Config  Config   `json:"config"`
-	Dataset *Dataset `json:"dataset"`
+	Config     Config      `json:"config"`
+	Provenance *Provenance `json:"provenance,omitempty"`
+	Dataset    *Dataset    `json:"dataset"`
 }
 
 // SaveRun writes a run's crawl to a JSON file for later re-analysis with
-// cmd/crumbreport.
+// cmd/crumbreport. When the run was executed with telemetry attached,
+// the provenance block includes its metrics snapshot.
 func SaveRun(path string, r *Run) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("crumbcruncher: save run: %w", err)
 	}
 	defer f.Close()
+	prov := telemetry.NewProvenance(r.Config.World.Seed, r.Config, r.Config.Telemetry)
 	enc := json.NewEncoder(f)
-	return enc.Encode(SavedRun{Config: r.Config, Dataset: r.Dataset})
+	return enc.Encode(SavedRun{Config: r.Config, Provenance: &prov, Dataset: r.Dataset})
 }
 
 // LoadRun reads a saved crawl and re-runs the analysis pipeline over it.

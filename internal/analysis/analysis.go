@@ -13,6 +13,7 @@ import (
 
 	"crumbcruncher/internal/crawler"
 	"crumbcruncher/internal/parallel"
+	"crumbcruncher/internal/telemetry"
 	"crumbcruncher/internal/tokens"
 	"crumbcruncher/internal/uid"
 )
@@ -79,6 +80,16 @@ type redirPartial struct {
 // concurrently and reduced in chunk order; the result is bit-identical
 // to New for any parallelism.
 func NewParallel(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Case, parallelism int) *Analysis {
+	return NewInstrumented(ds, paths, cases, parallelism, nil)
+}
+
+// NewInstrumented is NewParallel with optional telemetry: per-chunk wall
+// times of the two aggregation stages land in the
+// analysis.path_shard_us and analysis.redirector_shard_us histograms,
+// and index sizes in analysis.* counters. A nil Telemetry records
+// nothing and skips per-shard timing entirely.
+func NewInstrumented(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Case, parallelism int, tel *telemetry.Telemetry) *Analysis {
+	reg := tel.Registry()
 	a := &Analysis{
 		ds:             ds,
 		paths:          paths,
@@ -100,7 +111,7 @@ func NewParallel(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Case, p
 	// Map: aggregate unique URL paths per contiguous chunk.
 	chunks := parallel.Chunks(len(paths), parallelism)
 	pathParts := make([]*pathPartial, len(chunks))
-	parallel.ForEach(len(chunks), parallelism, func(ci int) {
+	parallel.ForEachTimed(len(chunks), parallelism, func(ci int) {
 		ch := chunks[ci]
 		part := &pathPartial{aggs: map[string]*pathAgg{}, endFQDNs: map[string]bool{}}
 		for _, p := range paths[ch.Lo:ch.Hi] {
@@ -119,7 +130,7 @@ func NewParallel(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Case, p
 			part.endFQDNs[p.Destination().Host] = true
 		}
 		pathParts[ci] = part
-	})
+	}, reg.Histogram("analysis.path_shard_us").Microseconds())
 	// Reduce in chunk order: the first chunk to see a key contributes
 	// its representative; later chunks only fold in their counts.
 	for _, part := range pathParts {
@@ -150,7 +161,7 @@ func NewParallel(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Case, p
 	}
 	rchunks := parallel.Chunks(len(smuggling), parallelism)
 	redirParts := make([]*redirPartial, len(rchunks))
-	parallel.ForEach(len(rchunks), parallelism, func(ci int) {
+	parallel.ForEachTimed(len(rchunks), parallelism, func(ci int) {
 		ch := rchunks[ci]
 		part := &redirPartial{aggs: map[string]*redirectorAgg{}}
 		for _, p := range smuggling[ch.Lo:ch.Hi] {
@@ -171,7 +182,7 @@ func NewParallel(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Case, p
 			}
 		}
 		redirParts[ci] = part
-	})
+	}, reg.Histogram("analysis.redirector_shard_us").Microseconds())
 	for _, part := range redirParts {
 		for _, host := range part.order {
 			pagg := part.aggs[host]
@@ -200,6 +211,9 @@ func NewParallel(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Case, p
 			len(agg.destDomains) >= 2 &&
 			!a.endFQDNs[host]
 	}
+	reg.Counter("analysis.unique_url_paths").Add(int64(len(a.urlPaths)))
+	reg.Counter("analysis.smuggling_paths").Add(int64(len(a.smugglingPaths)))
+	reg.Counter("analysis.redirectors").Add(int64(len(a.redirectors)))
 	return a
 }
 

@@ -27,6 +27,7 @@ import (
 	"crumbcruncher/internal/netsim"
 	"crumbcruncher/internal/publicsuffix"
 	"crumbcruncher/internal/storage"
+	"crumbcruncher/internal/telemetry"
 )
 
 // Simulation identity headers, re-exported from ident for convenience.
@@ -74,6 +75,11 @@ type Config struct {
 	MaxRedirects int
 	// ViewportWidth is used for layout; 0 means 1280.
 	ViewportWidth int
+	// Telemetry, when non-nil, receives page-load spans and browser
+	// counters (navigations, redirect-chain lengths, scripts run,
+	// iframes loaded, beacons fired). Observation only: a nil value
+	// costs nothing.
+	Telemetry *telemetry.Telemetry
 }
 
 // Browser is one simulated browser with its own profile storage. It is
@@ -89,6 +95,15 @@ type Browser struct {
 	mu       sync.Mutex
 	requests []RequestRecord
 	visits   map[string]int // per-registered-domain visit counters
+
+	// Cached telemetry instruments (all nil-safe no-ops when
+	// cfg.Telemetry is nil).
+	tel        *telemetry.Telemetry
+	cNavs      *telemetry.Counter
+	cScripts   *telemetry.Counter
+	cIframes   *telemetry.Counter
+	cBeacons   *telemetry.Counter
+	hChainHops *telemetry.Histogram
 }
 
 // New returns a Browser for cfg. Network must be non-nil.
@@ -105,12 +120,19 @@ func New(cfg Config) *Browser {
 	if cfg.UserAgent == "" {
 		cfg.UserAgent = DefaultChromeUA
 	}
+	reg := cfg.Telemetry.Registry()
 	return &Browser{
-		cfg:    cfg,
-		store:  storage.New(cfg.Policy),
-		client: cfg.Network.Client(),
-		clock:  cfg.Network.Clock(),
-		psl:    publicsuffix.Default(),
+		cfg:        cfg,
+		store:      storage.New(cfg.Policy),
+		client:     cfg.Network.Client(),
+		clock:      cfg.Network.Clock(),
+		psl:        publicsuffix.Default(),
+		tel:        cfg.Telemetry,
+		cNavs:      reg.Counter("browser.navigations"),
+		cScripts:   reg.Counter("browser.scripts_run"),
+		cIframes:   reg.Counter("browser.iframes_loaded"),
+		cBeacons:   reg.Counter("browser.beacons_fired"),
+		hChainHops: reg.Histogram("browser.redirect_chain_hops"),
 	}
 }
 
@@ -166,6 +188,19 @@ func (e *NavError) Unwrap() error { return e.Err }
 // page is parsed, laid out, its declarative scripts run, its iframes
 // loaded and its beacons fired.
 func (b *Browser) Navigate(rawURL, referer string) (*Page, error) {
+	sp := b.tel.StartSpan("browser", "navigate").Attr("url", rawURL)
+	b.cNavs.Inc()
+	page, err := b.navigate(rawURL, referer)
+	if err != nil {
+		sp.EndErr(err)
+		return nil, err
+	}
+	b.hChainHops.Observe(int64(len(page.Chain)))
+	sp.Attr("host", page.URL.Hostname()).End()
+	return page, nil
+}
+
+func (b *Browser) navigate(rawURL, referer string) (*Page, error) {
 	cur, err := url.Parse(rawURL)
 	if err != nil {
 		return nil, &NavError{URL: rawURL, Err: err}

@@ -261,5 +261,6 @@ func (b *Browser) loadFrames(p *Page) {
 			continue
 		}
 		p.Frames[n] = &Frame{SrcURL: u.String(), Doc: dom.Parse(body)}
+		b.cIframes.Inc()
 	}
 }

@@ -105,8 +105,13 @@ func hexVal(c byte) byte {
 // runScripts interprets the page's directives in document order.
 func (b *Browser) runScripts(p *Page) {
 	host := p.URL.Hostname()
+	sp := b.tel.StartSpan("browser", "scripts").Attr("host", host)
+	ran := 0
 	fpCtx := storage.Context{FrameHost: host, TopHost: host}
 	for _, s := range p.Doc.ElementsByTag("script") {
+		if s.AttrOr("data-cc", "") != "" {
+			ran++
+		}
 		switch s.AttrOr("data-cc", "") {
 		case "uid-sync":
 			b.scriptUIDSync(p, s, fpCtx)
@@ -124,6 +129,8 @@ func (b *Browser) runScripts(p *Page) {
 			b.scriptLocalToken(p, s, fpCtx)
 		}
 	}
+	b.cScripts.Add(int64(ran))
+	sp.Attr("scripts", strconv.Itoa(ran)).End()
 }
 
 // ensureUIDCookie returns the tracker's first-party UID on this page,
@@ -305,6 +312,7 @@ func (b *Browser) fireBeacon(p *Page, endpoint string, vals url.Values) {
 	if err != nil {
 		return
 	}
+	b.cBeacons.Inc()
 	resp.Body.Close()
 }
 

@@ -15,6 +15,7 @@ import (
 	"crumbcruncher/internal/entity"
 	"crumbcruncher/internal/filterlist"
 	"crumbcruncher/internal/publicsuffix"
+	"crumbcruncher/internal/telemetry"
 	"crumbcruncher/internal/tokens"
 	"crumbcruncher/internal/uid"
 	"crumbcruncher/internal/web"
@@ -51,6 +52,12 @@ type Config struct {
 	// Identify configures UID identification (zero value: the paper's
 	// full method).
 	Identify uid.Options
+	// Telemetry, when non-nil, observes the whole pipeline: spans and
+	// metrics from the network simulator, browsers, crawler and every
+	// analysis stage. It is runtime wiring, not configuration (not
+	// serialized), and strictly observational: a run with telemetry
+	// produces bit-identical results to one without.
+	Telemetry *telemetry.Telemetry `json:"-"`
 }
 
 // analysisParallelism is the worker-pool size for the post-crawl stages.
@@ -88,11 +95,19 @@ type Run struct {
 
 // Execute runs the full pipeline.
 func Execute(cfg Config) (*Run, error) {
+	sp := cfg.Telemetry.StartSpan("core", "build_world")
 	world := web.BuildWorld(cfg.World)
+	sp.End()
+	// Binds the run's registry (and the virtual clock) to the network;
+	// a nil Telemetry leaves the network on its private registry.
+	world.Network().SetTelemetry(cfg.Telemetry)
+	csp := cfg.Telemetry.StartSpan("core", "crawl")
 	ds, err := crawler.Crawl(cfg.crawlConfig(world))
 	if err != nil {
+		csp.EndErr(err)
 		return nil, fmt.Errorf("core: crawl: %w", err)
 	}
+	csp.End()
 	return Analyze(cfg, world, ds)
 }
 
@@ -110,6 +125,7 @@ func (cfg Config) crawlConfig(world *web.World) crawler.Config {
 		IframeBias:   cfg.IframeBias,
 		NoIframes:    cfg.NoIframes,
 		Machines:     cfg.Machines,
+		Telemetry:    cfg.Telemetry,
 	}
 }
 
@@ -119,10 +135,21 @@ func (cfg Config) crawlConfig(world *web.World) crawler.Config {
 // cfg.Parallelism workers with deterministic merging, so the output is
 // bit-identical to a sequential pass.
 func Analyze(cfg Config, world *web.World, ds *crawler.Dataset) (*Run, error) {
+	tel := cfg.Telemetry
 	par := cfg.analysisParallelism()
-	paths := tokens.PathsFromDatasetParallel(ds, par)
-	cands := tokens.AllCandidatesParallel(paths, par)
+
+	sp := tel.StartSpan("analysis", "paths")
+	paths := tokens.PathsFromDatasetInstrumented(ds, par, tel)
+	sp.End()
+
+	sp = tel.StartSpan("analysis", "candidates")
+	cands := tokens.AllCandidatesInstrumented(paths, par, tel)
+	sp.End()
+
+	sp = tel.StartSpan("analysis", "lifetimes")
 	lifetimes := uid.BuildLifetimeIndex(ds)
+	sp.End()
+
 	opt := cfg.Identify
 	if opt.LifetimeOf == nil {
 		opt.LifetimeOf = lifetimes.Lifetime
@@ -130,7 +157,17 @@ func Analyze(cfg Config, world *web.World, ds *crawler.Dataset) (*Run, error) {
 	if opt.Parallelism == 0 {
 		opt.Parallelism = par
 	}
+	if opt.Telemetry == nil {
+		opt.Telemetry = tel
+	}
+	sp = tel.StartSpan("analysis", "identify")
 	cases, stats := uid.Identify(cands, opt)
+	sp.End()
+
+	sp = tel.StartSpan("analysis", "aggregate")
+	agg := analysis.NewInstrumented(ds, paths, cases, par, tel)
+	sp.End()
+
 	return &Run{
 		Config:     cfg,
 		World:      world,
@@ -139,7 +176,7 @@ func Analyze(cfg Config, world *web.World, ds *crawler.Dataset) (*Run, error) {
 		Candidates: cands,
 		Cases:      cases,
 		Stats:      stats,
-		Analysis:   analysis.NewParallel(ds, paths, cases, par),
+		Analysis:   agg,
 		Lifetimes:  lifetimes,
 	}, nil
 }

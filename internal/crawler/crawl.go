@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"crumbcruncher/internal/browser"
 	"crumbcruncher/internal/netsim"
 	"crumbcruncher/internal/storage"
+	"crumbcruncher/internal/telemetry"
 )
 
 // Config configures a crawl.
@@ -58,6 +60,10 @@ type Config struct {
 	// walk share one machine — the §3.5 condition — but fingerprint
 	// surfaces differ across instances.
 	Machines int
+	// Telemetry, when non-nil, receives walk/step spans and crawl
+	// counters and is handed down to every browser. Observation only;
+	// nil costs nothing.
+	Telemetry *telemetry.Telemetry
 }
 
 // withDefaults fills zero values.
@@ -88,6 +94,44 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
+// crawlMetrics caches the crawl-layer instruments so hot paths skip the
+// registry map. All fields are nil (and every method a no-op) when the
+// crawl runs without telemetry.
+type crawlMetrics struct {
+	tel           *telemetry.Telemetry
+	walksDone     *telemetry.Counter
+	steps         *telemetry.Counter
+	stepFailures  *telemetry.Counter
+	clicks        *telemetry.Counter
+	iframeClicks  *telemetry.Counter
+	renavigations *telemetry.Counter
+}
+
+func newCrawlMetrics(t *telemetry.Telemetry) *crawlMetrics {
+	reg := t.Registry()
+	return &crawlMetrics{
+		tel:           t,
+		walksDone:     reg.Counter("crawler.walks_done"),
+		steps:         reg.Counter("crawler.steps"),
+		stepFailures:  reg.Counter("crawler.step_failures"),
+		clicks:        reg.Counter("crawler.clicks"),
+		iframeClicks:  reg.Counter("crawler.iframe_clicks"),
+		renavigations: reg.Counter("crawler.renavigations"),
+	}
+}
+
+// finishStep closes a step span and bumps the step counters from the
+// record's outcome.
+func (cm *crawlMetrics) finishStep(sp *telemetry.Active, rec *CrawlerStep) {
+	cm.steps.Inc()
+	if rec.Fail != "" {
+		cm.stepFailures.Inc()
+		sp.EndErr(errors.New(rec.Fail))
+		return
+	}
+	sp.End()
+}
+
 // Crawl runs the full measurement crawl and returns the dataset.
 func Crawl(cfg Config) (*Dataset, error) {
 	cfg = cfg.withDefaults()
@@ -109,6 +153,9 @@ func Crawl(cfg Config) (*Dataset, error) {
 		api = NewHTTPClient(base)
 	}
 
+	cm := newCrawlMetrics(cfg.Telemetry)
+	cfg.Telemetry.Registry().Gauge("crawler.walks_total").Set(int64(cfg.Walks))
+
 	ds := &Dataset{Seed: cfg.Seed, Crawlers: AllCrawlers, Walks: make([]*Walk, cfg.Walks)}
 	sem := make(chan struct{}, cfg.Parallelism)
 	var wg sync.WaitGroup
@@ -123,7 +170,15 @@ func Crawl(cfg Config) (*Dataset, error) {
 			if cfg.Machines > 1 {
 				wcfg.Machine = fmt.Sprintf("%s-inst%d", cfg.Machine, idx%cfg.Machines)
 			}
-			ds.Walks[idx] = runWalk(wcfg, api, idx, seeder)
+			sp := cm.tel.StartSpan("crawler", "walk").
+				Attr("walk", strconv.Itoa(idx)).Attr("seeder", seeder)
+			w := runWalk(wcfg, api, idx, seeder, cm)
+			ds.Walks[idx] = w
+			if w.Ended != "" {
+				sp.Attr("ended", string(w.Ended))
+			}
+			sp.Attr("steps", strconv.Itoa(len(w.Steps))).End()
+			cm.walksDone.Inc()
 		}(i)
 	}
 	wg.Wait()
@@ -175,7 +230,7 @@ func (ws *walkState) putStep(stepIdx int, name string, rec *CrawlerStep) {
 
 // runWalk executes one walk: three synchronized crawler goroutines, with
 // Safari-1R trailing Safari-1 inside its goroutine.
-func runWalk(cfg Config, api API, idx int, seeder string) *Walk {
+func runWalk(cfg Config, api API, idx int, seeder string, cm *crawlMetrics) *Walk {
 	w := &Walk{Index: idx, Seeder: seeder, SeedLoad: make(map[string]*CrawlerStep)}
 	ws := &walkState{walk: w}
 
@@ -188,6 +243,7 @@ func runWalk(cfg Config, api API, idx int, seeder string) *Walk {
 			UserAgent: uaFor(name),
 			Policy:    policyFor(name),
 			Network:   cfg.Network,
+			Telemetry: cfg.Telemetry,
 		})
 	}
 
@@ -203,6 +259,7 @@ func runWalk(cfg Config, api API, idx int, seeder string) *Walk {
 				walk: idx,
 				name: name,
 				b:    newBrowser(name),
+				cm:   cm,
 			}
 			if name == Safari1 {
 				r.trailer = &trailRunner{
@@ -210,6 +267,7 @@ func runWalk(cfg Config, api API, idx int, seeder string) *Walk {
 					ws:   ws,
 					walk: idx,
 					b:    newBrowser(Safari1R),
+					cm:   cm,
 				}
 			}
 			r.run(seeder)
@@ -276,6 +334,7 @@ type walkRunner struct {
 	name    string
 	b       *browser.Browser
 	trailer *trailRunner
+	cm      *crawlMetrics
 }
 
 // snapshot records the first-party storage of a page.
@@ -323,6 +382,10 @@ func (r *walkRunner) run(seeder string) {
 	}
 
 	for step := 1; step <= r.cfg.StepsPerWalk; step++ {
+		sp := r.cm.tel.StartSpan("crawler", "step").
+			Attr("crawler", r.name).
+			Attr("walk", strconv.Itoa(r.walk)).
+			Attr("step", strconv.Itoa(step))
 		rec := &CrawlerStep{
 			Crawler:    r.name,
 			Profile:    ProfileOf(r.name),
@@ -345,6 +408,7 @@ func (r *walkRunner) run(seeder string) {
 		if derr != nil {
 			rec.Fail = "controller: " + derr.Error()
 			r.ws.putStep(step, r.name, rec)
+			r.cm.finishStep(sp, rec)
 			return
 		}
 		if !dec.Found {
@@ -356,6 +420,7 @@ func (r *walkRunner) run(seeder string) {
 				rec.Fail = "no common element"
 			}
 			r.ws.putStep(step, r.name, rec)
+			r.cm.finishStep(sp, rec)
 			if r.trailer != nil && page != nil {
 				r.trailer.recordFail(step, "no common element")
 			}
@@ -366,6 +431,10 @@ func (r *walkRunner) run(seeder string) {
 		if dec.Index >= 0 && dec.Index < len(els) {
 			e := els[dec.Index]
 			rec.Clicked = &e
+		}
+		r.cm.clicks.Inc()
+		if rec.Clicked != nil && rec.Clicked.Kind == "iframe" {
+			r.cm.iframeClicks.Inc()
 		}
 		r.b.ResetRequests()
 		next, cerr := r.b.Click(page, dec.Index)
@@ -391,7 +460,11 @@ func (r *walkRunner) run(seeder string) {
 		}
 
 		land, lerr := r.api.SubmitLanding(r.walk, step, r.name, fqdn)
+		if fqdn != "" {
+			sp.Attr("host", fqdn)
+		}
 		r.ws.putStep(step, r.name, rec)
+		r.cm.finishStep(sp, rec)
 
 		// Safari-1R repeats the step right after Safari-1 finishes it
 		// (§3.2).
@@ -438,6 +511,7 @@ type trailRunner struct {
 	walk int
 	b    *browser.Browser
 	page *browser.Page
+	cm   *crawlMetrics
 }
 
 func (t *trailRunner) repeatSeed(seedURL string) {
@@ -478,6 +552,7 @@ func (t *trailRunner) recordFail(step int, reason string) {
 func (t *trailRunner) repeatStep(step int, startURL string, s1Elements []Element, clickedIdx int) {
 	rec := &CrawlerStep{Crawler: Safari1R, Profile: ProfileOf(Safari1R), ClickIndex: -1}
 	if t.page == nil || (startURL != "" && !sameURLSansQuery(t.page.URL.String(), startURL)) {
+		t.cm.renavigations.Inc()
 		page, err := t.b.Navigate(startURL, "")
 		if err != nil {
 			rec.Fail = "connect: " + err.Error()

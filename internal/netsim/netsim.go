@@ -26,13 +26,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"crumbcruncher/internal/publicsuffix"
 	"crumbcruncher/internal/stats"
+	"crumbcruncher/internal/telemetry"
 )
 
 // Network is a virtual Internet: a host registry plus fault and latency
@@ -45,23 +46,57 @@ type Network struct {
 	latency *LatencyModel
 	clock   *VirtualClock
 
-	requests atomic.Int64
-	failures atomic.Int64
+	// Request accounting lives in a telemetry registry: a private one
+	// by default, the run's shared registry after SetTelemetry. The
+	// instrument handles are cached so the hot path never takes the
+	// registry lock.
+	tel            *telemetry.Telemetry
+	requests       *telemetry.Counter
+	failures       *telemetry.Counter
+	faultsInjected *telemetry.Counter
+	unknownHosts   *telemetry.Counter
+	latencyHist    *telemetry.Histogram
 
 	// observers are notified of every request before dispatch. Used by
 	// tests; the browser layer records its own requests.
 	obsMu     sync.RWMutex
-	observers []func(*http.Request)
+	observers []*Subscription
 }
 
 // New returns an empty Network with no faults and zero latency.
 func New() *Network {
-	return &Network{
+	n := &Network{
 		hosts:   make(map[string]http.Handler),
 		faults:  NewFaultInjector(0, 0),
 		latency: NewLatencyModel(0, 0, 0),
 		clock:   NewVirtualClock(),
 	}
+	n.bindInstruments(telemetry.NewRegistry())
+	return n
+}
+
+// bindInstruments caches the network's instrument handles out of reg.
+func (n *Network) bindInstruments(reg *telemetry.Registry) {
+	n.requests = reg.Counter("netsim.requests")
+	n.failures = reg.Counter("netsim.failures")
+	n.faultsInjected = reg.Counter("netsim.faults_injected")
+	n.unknownHosts = reg.Counter("netsim.unknown_hosts")
+	n.latencyHist = reg.Histogram("netsim.latency_us")
+}
+
+// SetTelemetry attaches the run's telemetry: per-request spans stamped
+// from the network's virtual clock, and the request/failure counters
+// rebound into the shared registry. Must be called before the network
+// is shared with concurrent users; passing nil reverts to a private
+// registry (counting continues, spans stop).
+func (n *Network) SetTelemetry(t *telemetry.Telemetry) {
+	n.tel = t
+	if t == nil {
+		n.bindInstruments(telemetry.NewRegistry())
+		return
+	}
+	t.SetClock(n.clock)
+	n.bindInstruments(t.Registry())
 }
 
 // SetFaults installs a fault injector. Passing nil disables fault
@@ -112,20 +147,60 @@ func (n *Network) Hosts() []string {
 	return hosts
 }
 
+// Subscription is a handle to a registered request observer; cancel it
+// with Unobserve (or Subscription.Cancel).
+type Subscription struct {
+	n  *Network
+	fn func(*http.Request)
+}
+
+// Cancel removes the subscription from its network. Safe to call more
+// than once and on nil.
+func (s *Subscription) Cancel() {
+	if s == nil || s.n == nil {
+		return
+	}
+	s.n.Unobserve(s)
+}
+
 // Observe registers fn to be called for every request entering the
-// network.
-func (n *Network) Observe(fn func(*http.Request)) {
+// network and returns a handle that Unobserve accepts.
+func (n *Network) Observe(fn func(*http.Request)) *Subscription {
+	s := &Subscription{n: n, fn: fn}
 	n.obsMu.Lock()
 	defer n.obsMu.Unlock()
-	n.observers = append(n.observers, fn)
+	// Copy-on-write: dispatch snapshots the slice outside the lock, so
+	// registration must never mutate a slice a dispatcher may hold.
+	next := make([]*Subscription, 0, len(n.observers)+1)
+	next = append(next, n.observers...)
+	n.observers = append(next, s)
+	return s
+}
+
+// Unobserve removes a previously registered observer. Unknown or
+// already-removed handles are ignored.
+func (n *Network) Unobserve(s *Subscription) {
+	if s == nil {
+		return
+	}
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	next := make([]*Subscription, 0, len(n.observers))
+	for _, o := range n.observers {
+		if o != s {
+			next = append(next, o)
+		}
+	}
+	n.observers = next
 }
 
 // RequestCount returns the number of requests dispatched (including
 // failed ones).
-func (n *Network) RequestCount() int64 { return n.requests.Load() }
+func (n *Network) RequestCount() int64 { return n.requests.Value() }
 
-// FailureCount returns the number of injected connection failures.
-func (n *Network) FailureCount() int64 { return n.failures.Load() }
+// FailureCount returns the number of failed dispatches (injected faults
+// and unknown hosts).
+func (n *Network) FailureCount() int64 { return n.failures.Value() }
 
 // ErrUnknownHost is the error flavour for hosts with no registered
 // handler; it mirrors a DNS NXDOMAIN failure.
@@ -137,18 +212,21 @@ func (e *ErrUnknownHost) Error() string {
 
 // RoundTrip implements http.RoundTripper.
 func (n *Network) RoundTrip(req *http.Request) (*http.Response, error) {
-	n.requests.Add(1)
+	n.requests.Inc()
+	host := hostOnly(req.URL.Host)
+	sp := n.tel.StartSpan("netsim", "roundtrip").Attr("host", host)
 
 	n.obsMu.RLock()
 	obs := n.observers
 	n.obsMu.RUnlock()
-	for _, fn := range obs {
-		fn(req)
+	for _, s := range obs {
+		s.fn(req)
 	}
 
-	host := hostOnly(req.URL.Host)
 	if err := n.faults.Check(host); err != nil {
-		n.failures.Add(1)
+		n.failures.Inc()
+		n.faultsInjected.Inc()
+		sp.Attr("fault", "injected").EndErr(err)
 		return nil, err
 	}
 
@@ -156,16 +234,22 @@ func (n *Network) RoundTrip(req *http.Request) (*http.Response, error) {
 	handler, ok := n.hosts[host]
 	n.mu.RUnlock()
 	if !ok {
-		n.failures.Add(1)
-		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: &ErrUnknownHost{Host: host}}
+		n.failures.Inc()
+		n.unknownHosts.Inc()
+		err := &net.OpError{Op: "dial", Net: "tcp", Err: &ErrUnknownHost{Host: host}}
+		sp.Attr("fault", "unknown-host").EndErr(err)
+		return nil, err
 	}
 
-	n.clock.Advance(n.latency.Sample(host))
+	lat := n.latency.Sample(host)
+	n.clock.Advance(lat)
+	n.latencyHist.Observe(lat.Microseconds())
 
 	rec := httptest.NewRecorder()
 	handler.ServeHTTP(rec, req)
 	resp := rec.Result()
 	resp.Request = req
+	sp.Attr("status", strconv.Itoa(resp.StatusCode)).End()
 	return resp, nil
 }
 

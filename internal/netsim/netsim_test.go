@@ -6,9 +6,12 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
+
+	"crumbcruncher/internal/telemetry"
 )
 
 func okHandler(body string) http.Handler {
@@ -294,5 +297,169 @@ func TestFaultExemption(t *testing.T) {
 	}
 	if !f.Unreachable("other.com") {
 		t.Fatal("non-exempt domain should fail at rate 1.0")
+	}
+}
+
+func TestUnobserveStopsDelivery(t *testing.T) {
+	n := New()
+	n.Handle("a.com", okHandler("ok"))
+	var calls1, calls2 int
+	sub1 := n.Observe(func(r *http.Request) { calls1++ })
+	sub2 := n.Observe(func(r *http.Request) { calls2++ })
+
+	if _, err := n.Client().Get("http://a.com/"); err != nil {
+		t.Fatal(err)
+	}
+	if calls1 != 1 || calls2 != 1 {
+		t.Fatalf("calls = %d/%d, want 1/1", calls1, calls2)
+	}
+
+	n.Unobserve(sub1)
+	if _, err := n.Client().Get("http://a.com/"); err != nil {
+		t.Fatal(err)
+	}
+	if calls1 != 1 {
+		t.Fatalf("unobserved fn still called: %d", calls1)
+	}
+	if calls2 != 2 {
+		t.Fatalf("remaining observer missed dispatch: %d", calls2)
+	}
+
+	// Cancel is idempotent and works via the handle too.
+	sub2.Cancel()
+	sub2.Cancel()
+	n.Unobserve(sub1) // already removed: ignored
+	var nilSub *Subscription
+	nilSub.Cancel() // nil-safe
+	if _, err := n.Client().Get("http://a.com/"); err != nil {
+		t.Fatal(err)
+	}
+	if calls2 != 2 {
+		t.Fatalf("cancelled observer still called: %d", calls2)
+	}
+}
+
+// TestObserverConcurrentRegisterDispatch hammers Observe/Unobserve from
+// many goroutines while requests dispatch concurrently. Run under
+// -race (make check does) it proves registration is safe against
+// in-flight dispatches.
+func TestObserverConcurrentRegisterDispatch(t *testing.T) {
+	n := New()
+	n.Handle("a.com", okHandler("ok"))
+	client := n.Client()
+
+	var hits atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get("http://a.com/")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sub := n.Observe(func(r *http.Request) { hits.Add(1) })
+				sub.Cancel()
+			}
+		}()
+	}
+	// Let the churn and the request stream overlap, then stop.
+	for i := 0; i < 50; i++ {
+		resp, err := client.Get("http://a.com/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestTelemetryCountersAndSpans(t *testing.T) {
+	n := New()
+	n.Handle("a.com", okHandler("ok"))
+	tel := telemetry.New(nil, 64)
+	n.SetTelemetry(tel)
+
+	if _, err := n.Client().Get("http://a.com/"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Client().Get("http://missing.example/"); err == nil {
+		t.Fatal("unknown host should fail")
+	}
+
+	if n.RequestCount() != 2 || n.FailureCount() != 1 {
+		t.Fatalf("requests=%d failures=%d", n.RequestCount(), n.FailureCount())
+	}
+	reg := tel.Registry()
+	if reg.Counter("netsim.requests").Value() != 2 {
+		t.Fatalf("registry requests = %d", reg.Counter("netsim.requests").Value())
+	}
+	if reg.Counter("netsim.unknown_hosts").Value() != 1 {
+		t.Fatal("unknown host not counted")
+	}
+
+	spans := tel.Tracer().Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Layer != "netsim" || spans[0].Attrs["status"] != "200" {
+		t.Fatalf("ok span = %+v", spans[0])
+	}
+	if spans[1].Err == "" || spans[1].Attrs["fault"] != "unknown-host" {
+		t.Fatalf("fault span = %+v", spans[1])
+	}
+	// Spans are stamped from the network's virtual clock.
+	if spans[0].Start.Before(Epoch) {
+		t.Fatalf("span start %v predates the virtual epoch", spans[0].Start)
+	}
+
+	// Detaching telemetry keeps counting in a fresh private registry.
+	n.SetTelemetry(nil)
+	if n.RequestCount() != 0 {
+		t.Fatal("detach should rebind to an empty private registry")
+	}
+	if _, err := n.Client().Get("http://a.com/"); err != nil {
+		t.Fatal(err)
+	}
+	if n.RequestCount() != 1 || tel.Tracer().Total() != 2 {
+		t.Fatalf("post-detach: requests=%d spans=%d", n.RequestCount(), tel.Tracer().Total())
+	}
+}
+
+func TestInjectedFaultCountedAndTraced(t *testing.T) {
+	n := New()
+	n.Handle("fail.com", okHandler("never"))
+	// Rate 1.0 with no exemptions: every host is unreachable.
+	n.SetFaults(NewFaultInjector(7, 1.0))
+	tel := telemetry.New(nil, 8)
+	n.SetTelemetry(tel)
+
+	if _, err := n.Client().Get("http://fail.com/"); err == nil {
+		t.Fatal("expected injected fault")
+	}
+	if got := tel.Registry().Counter("netsim.faults_injected").Value(); got != 1 {
+		t.Fatalf("faults_injected = %d", got)
+	}
+	spans := tel.Tracer().Spans()
+	if len(spans) != 1 || spans[0].Attrs["fault"] != "injected" || spans[0].Err == "" {
+		t.Fatalf("fault span = %+v", spans)
 	}
 }

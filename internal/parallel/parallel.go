@@ -9,6 +9,7 @@ package parallel
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers clamps a parallelism knob to [1, n] for n work items. Zero and
@@ -54,6 +55,23 @@ func ForEach(n, p int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForEachTimed is ForEach with a per-item wall-duration hook: observe is
+// called once per completed item, possibly concurrently from several
+// workers (telemetry histograms are atomic, so they are valid sinks).
+// A nil observe degrades to plain ForEach — timing costs nothing when
+// nobody is watching.
+func ForEachTimed(n, p int, fn func(i int), observe func(d time.Duration)) {
+	if observe == nil {
+		ForEach(n, p, fn)
+		return
+	}
+	ForEach(n, p, func(i int) {
+		start := time.Now()
+		fn(i)
+		observe(time.Since(start))
+	})
 }
 
 // Chunk is a half-open index range [Lo, Hi) of the input slice.

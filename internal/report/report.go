@@ -104,6 +104,15 @@ func Render(w io.Writer, r *core.Run) {
 		{"Connection failures (sites)", pct(fr.ConnectError), "3.3%"},
 	})
 
+	// Transport-level failure rate from the network simulator's own
+	// request accounting. A re-analysed saved run rebuilds the world
+	// without crawling it, so its network has no traffic to report.
+	if reqs := r.World.Network().RequestCount(); reqs > 0 {
+		fails := r.World.Network().FailureCount()
+		fmt.Fprintf(w, "Transport: %d requests, %d failed (%s observed; the paper reports 3.3%% of sites unreachable)\n\n",
+			reqs, fails, pct(float64(fails)/float64(reqs)))
+	}
+
 	// Table 1.
 	buckets := uid.BucketCounts(r.Cases)
 	var t1 [][]string

@@ -7,6 +7,7 @@ import (
 	"crumbcruncher/internal/crawler"
 	"crumbcruncher/internal/parallel"
 	"crumbcruncher/internal/publicsuffix"
+	"crumbcruncher/internal/telemetry"
 )
 
 // PathNode is one hop of a navigation path.
@@ -105,14 +106,24 @@ func PathsFromDataset(ds *crawler.Dataset) []*Path {
 // independently and concatenated in walk-slice order, so the output is
 // identical to the sequential pass for any parallelism.
 func PathsFromDatasetParallel(ds *crawler.Dataset, parallelism int) []*Path {
+	return PathsFromDatasetInstrumented(ds, parallelism, nil)
+}
+
+// PathsFromDatasetInstrumented is PathsFromDatasetParallel with optional
+// telemetry: per-walk shard wall times land in the
+// tokens.path_shard_us histogram and the path total in the tokens.paths
+// counter. A nil Telemetry records nothing and skips per-shard timing
+// entirely.
+func PathsFromDatasetInstrumented(ds *crawler.Dataset, parallelism int, tel *telemetry.Telemetry) []*Path {
 	names := ds.Crawlers
 	if len(names) == 0 {
 		names = crawler.AllCrawlers
 	}
+	reg := tel.Registry()
 	perWalk := make([][]*Path, len(ds.Walks))
-	parallel.ForEach(len(ds.Walks), parallelism, func(i int) {
+	parallel.ForEachTimed(len(ds.Walks), parallelism, func(i int) {
 		perWalk[i] = pathsFromWalk(ds.Walks[i], names)
-	})
+	}, reg.Histogram("tokens.path_shard_us").Microseconds())
 	total := 0
 	for _, ps := range perWalk {
 		total += len(ps)
@@ -121,6 +132,7 @@ func PathsFromDatasetParallel(ds *crawler.Dataset, parallelism int) []*Path {
 	for _, ps := range perWalk {
 		out = append(out, ps...)
 	}
+	reg.Counter("tokens.paths").Add(int64(total))
 	return out
 }
 
@@ -232,10 +244,22 @@ func AllCandidates(paths []*Path) []*Candidate {
 // bounded worker pool, merging per-path results in path order — the
 // output is identical to AllCandidates for any parallelism.
 func AllCandidatesParallel(paths []*Path, parallelism int) []*Candidate {
+	return AllCandidatesInstrumented(paths, parallelism, nil)
+}
+
+// AllCandidatesInstrumented is AllCandidatesParallel with optional
+// telemetry: per-path candidate counts land in the
+// tokens.candidates_per_path histogram (a deterministic distribution),
+// shard wall times in tokens.candidate_shard_us, and the candidate total
+// in the tokens.candidates counter.
+func AllCandidatesInstrumented(paths []*Path, parallelism int, tel *telemetry.Telemetry) []*Candidate {
+	reg := tel.Registry()
+	perPathHist := reg.Histogram("tokens.candidates_per_path")
 	perPath := make([][]*Candidate, len(paths))
-	parallel.ForEach(len(paths), parallelism, func(i int) {
+	parallel.ForEachTimed(len(paths), parallelism, func(i int) {
 		perPath[i] = FindCandidates(paths[i])
-	})
+		perPathHist.Observe(int64(len(perPath[i])))
+	}, reg.Histogram("tokens.candidate_shard_us").Microseconds())
 	total := 0
 	for _, cs := range perPath {
 		total += len(cs)
@@ -244,5 +268,6 @@ func AllCandidatesParallel(paths []*Path, parallelism int) []*Candidate {
 	for _, cs := range perPath {
 		out = append(out, cs...)
 	}
+	reg.Counter("tokens.candidates").Add(int64(total))
 	return out
 }

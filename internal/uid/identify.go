@@ -14,6 +14,7 @@ import (
 
 	"crumbcruncher/internal/crawler"
 	"crumbcruncher/internal/parallel"
+	"crumbcruncher/internal/telemetry"
 	"crumbcruncher/internal/textmatch"
 	"crumbcruncher/internal/tokens"
 )
@@ -63,6 +64,10 @@ type Options struct {
 	// (0 or 1: sequential). It is runtime wiring, not configuration:
 	// results are bit-identical for any value.
 	Parallelism int `json:"-"`
+	// Telemetry, when non-nil, receives verdict counters and
+	// classification shard timings. Runtime wiring, not configuration;
+	// observation only.
+	Telemetry *telemetry.Telemetry `json:"-"`
 }
 
 func (o Options) crawlerSet() map[string]bool {
@@ -204,30 +209,42 @@ func Identify(cands []*tokens.Candidate, opt Options) ([]*Case, Stats) {
 	groups := GroupCandidates(cands, opt)
 	stats.Groups = len(groups)
 
+	reg := opt.Telemetry.Registry()
+	reg.Counter("uid.candidates").Add(int64(stats.Candidates))
+	reg.Counter("uid.groups").Add(int64(stats.Groups))
+
 	verdicts := make([]groupVerdict, len(groups))
-	parallel.ForEach(len(groups), opt.Parallelism, func(i int) {
+	parallel.ForEachTimed(len(groups), opt.Parallelism, func(i int) {
 		verdicts[i] = classifyGroup(groups[i], opt, include)
-	})
+	}, reg.Histogram("uid.classify_shard_us").Microseconds())
 
 	// Ordered reduce: accumulate statistics and confirmed cases in group
-	// order, exactly as the sequential loop did.
+	// order, exactly as the sequential loop did. Verdict counters live
+	// here rather than in classifyGroup so they increment in
+	// deterministic order too.
 	var cases []*Case
 	for _, v := range verdicts {
 		switch v.kind {
 		case verdictSameAcrossUsers:
 			stats.SameAcrossUsers++
+			reg.Counter("uid.verdict_same_across_users").Inc()
 		case verdictSessionByRepeat:
 			stats.SessionByRepeat++
+			reg.Counter("uid.verdict_session_by_repeat").Inc()
 		case verdictSessionByTTL:
 			stats.SessionByTTL++
+			reg.Counter("uid.verdict_session_by_ttl").Inc()
 		case verdictProgrammatic:
 			stats.Programmatic[v.reason]++
+			reg.Counter("uid.verdict_programmatic").Inc()
 		case verdictManual:
 			stats.AfterProgrammatic++
 			stats.ManuallyRemoved++
+			reg.Counter("uid.verdict_manual").Inc()
 		case verdictKeep:
 			stats.AfterProgrammatic++
 			cases = append(cases, v.c)
+			reg.Counter("uid.verdict_confirmed").Inc()
 		}
 	}
 	stats.Final = len(cases)

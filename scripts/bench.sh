@@ -1,0 +1,34 @@
+#!/bin/sh
+# Runs the tracked benchmark pair — the end-to-end crawl (BenchmarkCrawl)
+# and the parallel post-crawl re-analysis (BenchmarkAnalyzeParallel) —
+# and archives the results as JSON for cross-run comparison.
+#
+# Usage: scripts/bench.sh [output.json]
+# BENCHTIME overrides the per-benchmark iteration budget (default 1x:
+# BenchmarkAnalyzeParallel's fixture is a paper-scale crawl).
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr2.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench '^(BenchmarkCrawl|BenchmarkAnalyzeParallel)$' \
+	-benchtime "${BENCHTIME:-1x}" -benchmem . | tee "$raw"
+
+awk '
+BEGIN { print "{"; printf "  \"benchmarks\": [" ; sep = "" }
+/^Benchmark/ {
+	printf "%s\n    {\"name\": \"%s\", \"iterations\": %s", sep, $1, $2
+	for (i = 3; i < NF; i += 2) {
+		key = $(i + 1)
+		gsub(/["\\]/, "", key)
+		printf ", \"%s\": %s", key, $i
+	}
+	printf "}"
+	sep = ","
+}
+END { print "\n  ]"; print "}" }
+' "$raw" >"$out"
+
+echo "wrote $out"

@@ -1,0 +1,120 @@
+package crumbcruncher_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"crumbcruncher"
+	"crumbcruncher/internal/telemetry"
+)
+
+// metricsJSON renders a run's metrics, the byte-level artifact the
+// determinism guarantee is stated over.
+func metricsJSON(t *testing.T, r *crumbcruncher.Run) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := crumbcruncher.WriteMetricsJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTelemetryDoesNotPerturbResults is the subsystem's core contract:
+// attaching telemetry never changes what a run measures. A full crawl at
+// Parallelism 1 (the only run-repeatable crawl setting — concurrent
+// walks share the virtual clock) must produce byte-identical metrics
+// JSON with telemetry on and off, and re-analysing the same dataset must
+// stay byte-identical at every worker-pool size in both modes.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	cfg := crumbcruncher.SmallConfig()
+	cfg.Parallelism = 1
+
+	base, err := crumbcruncher.Execute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := metricsJSON(t, base)
+
+	tcfg := cfg
+	tcfg.Telemetry = crumbcruncher.NewTelemetry()
+	traced, err := crumbcruncher.Execute(tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricsJSON(t, traced); !bytes.Equal(got, want) {
+		t.Errorf("telemetry-enabled crawl changed the metrics JSON:\nwithout: %s\nwith:    %s", want, got)
+	}
+
+	// Post-crawl pipeline: same dataset, every parallelism, both modes.
+	for _, par := range []int{1, 4, 16} {
+		for _, withTel := range []bool{false, true} {
+			name := fmt.Sprintf("reanalyze-par%d-tel%v", par, withTel)
+			rcfg := cfg
+			rcfg.Parallelism = par
+			if withTel {
+				rcfg.Telemetry = crumbcruncher.NewTelemetry()
+			}
+			rerun, err := crumbcruncher.Reanalyze(rcfg, base)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if got := metricsJSON(t, rerun); !bytes.Equal(got, want) {
+				t.Errorf("%s: metrics JSON diverged from the baseline", name)
+			}
+		}
+	}
+}
+
+// TestTraceCoversEveryLayer executes the small configuration with
+// telemetry attached and asserts the trace carries spans from every
+// pipeline layer — the acceptance shape cmd/crumbtrace summarizes.
+func TestTraceCoversEveryLayer(t *testing.T) {
+	cfg := crumbcruncher.SmallConfig()
+	tel := crumbcruncher.NewTelemetry()
+	cfg.Telemetry = tel
+	run, err := crumbcruncher.Execute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spans := tel.Tracer().Spans()
+	sum := telemetry.Summarize(spans, 5)
+	for _, layer := range []string{"netsim", "browser", "crawler", "analysis", "core"} {
+		if n := sum.LayerSpanCount(layer); n == 0 {
+			t.Errorf("no spans recorded for layer %q", layer)
+		}
+	}
+
+	// The JSONL round trip crumbtrace depends on.
+	var buf bytes.Buffer
+	if err := tel.Tracer().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := telemetry.ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(spans) {
+		t.Errorf("JSONL round trip: wrote %d spans, read %d", len(spans), len(decoded))
+	}
+
+	// Counters folded from the old Network atomics must both be live and
+	// agree with the network's accessors.
+	net := run.World.Network()
+	if reqs := tel.Counter("netsim.requests").Value(); reqs == 0 || reqs != net.RequestCount() {
+		t.Errorf("netsim.requests = %d, RequestCount() = %d", reqs, net.RequestCount())
+	}
+	if fails := tel.Counter("netsim.failures").Value(); fails != net.FailureCount() {
+		t.Errorf("netsim.failures = %d, FailureCount() = %d", fails, net.FailureCount())
+	}
+
+	// Provenance embedded on save must carry the registry snapshot.
+	prov := telemetry.NewProvenance(cfg.World.Seed, cfg, tel)
+	if prov.Metrics == nil || prov.Metrics.Counters["crawler.walks_done"] != int64(len(run.Dataset.Walks)) {
+		t.Errorf("provenance metrics missing or walks_done mismatch: %+v", prov.Metrics)
+	}
+	if prov.SpansRecorded == 0 {
+		t.Error("provenance records zero spans")
+	}
+}

@@ -7,9 +7,16 @@
 //	crumbcruncher [-seed N] [-sites N] [-walks N] [-steps N] [-parallel N]
 //	              [-machines N] [-small] [-save crawl.json] [-out report.txt]
 //	              [-trace trace.jsonl] [-progress] [-pprof localhost:6060]
+//	              [-retries N] [-breaker N] [-deadline D] [-resume ckpt.jsonl]
+//	              [-connect-fail R] [-transient-fail R] [-degrade R] [-spike R]
+//
+// An interrupted run (Ctrl-C) drains gracefully; with -resume it can be
+// continued later from the same checkpoint file.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +24,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"time"
 
 	"crumbcruncher"
@@ -40,6 +48,15 @@ func main() {
 		traceOut  = flag.String("trace", "", "enable telemetry and export the span trace to this JSONL file (inspect with crumbtrace)")
 		progress  = flag.Bool("progress", false, "enable telemetry and report crawl progress on stderr")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+
+		retries   = flag.Int("retries", 0, "max attempts per navigation/click with virtual-clock exponential backoff (0: no retries)")
+		breaker   = flag.Int("breaker", 0, "per-domain circuit breaker: open after N consecutive failed retry sequences (0: disabled)")
+		deadline  = flag.Duration("deadline", 0, "per-request virtual-clock deadline (0: none)")
+		resume    = flag.String("resume", "", "checkpoint file: record completed walks, and resume from it if it exists")
+		connFail  = flag.Float64("connect-fail", -1, "fraction of domains refusing connections (-1: config default, paper 3.3%)")
+		transient = flag.Float64("transient-fail", 0, "fraction of domains whose first attempts fail then recover")
+		degrade   = flag.Float64("degrade", 0, "fraction of domains answering first attempts with 502/503 + Retry-After")
+		spike     = flag.Float64("spike", 0, "fraction of domains with a deadline-blowing first-attempt latency spike")
 	)
 	flag.Parse()
 
@@ -62,6 +79,35 @@ func main() {
 	}
 	if *machines > 0 {
 		cfg.Machines = *machines
+	}
+	if *retries > 0 {
+		cfg.Retry = crumbcruncher.DefaultRetryPolicy()
+		cfg.Retry.MaxAttempts = *retries
+	}
+	if *breaker > 0 {
+		cfg.Breaker.Threshold = *breaker
+	}
+	if *deadline > 0 {
+		cfg.RequestDeadline = *deadline
+	}
+	if *connFail >= 0 {
+		cfg.World.ConnectFailRate = *connFail
+	}
+	cfg.World.TransientFailRate = *transient
+	cfg.World.HTTPDegradeRate = *degrade
+	cfg.World.LatencySpikeRate = *spike
+	var ckpt *crumbcruncher.Checkpoint
+	if *resume != "" {
+		var err error
+		ckpt, err = crumbcruncher.OpenCheckpoint(*resume, cfg.World.Seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ckpt.Close()
+		if n := ckpt.CompletedCount(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d walks already completed in %s\n", n, *resume)
+		}
+		cfg.Checkpoint = ckpt
 	}
 
 	// Telemetry is observation-only: results are identical with it on or
@@ -87,8 +133,20 @@ func main() {
 	if *progress {
 		stopProgress = reportProgress(tel)
 	}
-	run, err := crumbcruncher.Execute(cfg)
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	run, err := crumbcruncher.ExecuteContext(ctx, cfg)
+	stopSignals()
 	stopProgress()
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "interrupted: crawl drained gracefully")
+		if *resume != "" {
+			fmt.Fprintf(os.Stderr, "re-run with -resume %s to continue\n", *resume)
+		} else {
+			fmt.Fprintln(os.Stderr, "hint: run with -resume ckpt.jsonl to make interrupted crawls resumable")
+		}
+		ckpt.Close()
+		os.Exit(1)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,6 +19,7 @@
 package crumbcruncher
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -29,6 +30,7 @@ import (
 	"crumbcruncher/internal/countermeasures"
 	"crumbcruncher/internal/crawler"
 	"crumbcruncher/internal/report"
+	"crumbcruncher/internal/resilience"
 	"crumbcruncher/internal/telemetry"
 	"crumbcruncher/internal/uid"
 	"crumbcruncher/internal/web"
@@ -70,6 +72,41 @@ func SmallConfig() Config { return core.SmallConfig() }
 // Execute builds the synthetic web, runs the four-crawler crawl and the
 // token pipeline, and returns the analysed run.
 func Execute(cfg Config) (*Run, error) { return core.Execute(cfg) }
+
+// ExecuteContext is Execute with cancellation: when ctx is cancelled the
+// crawl drains gracefully — in-flight walks finish, unstarted walks are
+// recorded as skipped — and the partial run is analysed and returned
+// alongside ctx's error. Pair with Config.Checkpoint to resume later.
+func ExecuteContext(ctx context.Context, cfg Config) (*Run, error) {
+	return core.ExecuteContext(ctx, cfg)
+}
+
+// --- Resilience -------------------------------------------------------------
+
+// RetryPolicy bounds retry sequences for seed navigations and step
+// clicks (Config.Retry). The zero value disables retries.
+type RetryPolicy = resilience.Policy
+
+// BreakerConfig configures the per-registered-domain circuit breakers
+// (Config.Breaker). The zero value disables them.
+type BreakerConfig = resilience.BreakerConfig
+
+// DefaultRetryPolicy returns the standard capped-exponential-backoff
+// policy: 3 attempts, 500ms base, 8s cap, 2x multiplier, 20% jitter.
+// All waiting is virtual-clock time; no wall time is spent.
+func DefaultRetryPolicy() RetryPolicy { return resilience.DefaultPolicy() }
+
+// Checkpoint incrementally records completed walks so an interrupted
+// crawl can resume (Config.Checkpoint).
+type Checkpoint = crawler.Checkpoint
+
+// OpenCheckpoint opens (or creates) a checkpoint file for the given
+// seed. Completed walks already on disk are restored instead of
+// re-crawled; at Parallelism 1 a resumed dataset is byte-identical to an
+// uninterrupted run.
+func OpenCheckpoint(path string, seed int64) (*Checkpoint, error) {
+	return crawler.OpenCheckpoint(path, seed)
+}
 
 // Reanalyze re-runs the post-crawl analysis pipeline (path
 // reconstruction, candidate extraction, UID identification, aggregation)

@@ -382,6 +382,84 @@ func isConnectFail(fail string) bool {
 	return len(fail) >= 8 && fail[:8] == "connect:"
 }
 
+// ResilienceStats splits the crawl's observed connection failures into
+// transient-recovered and permanently-unreachable populations, from the
+// per-request records (every retry attempt is recorded). The paper's
+// 3.3% counts all of them as losses; with retries enabled the recovered
+// share is measurement the crawl kept instead.
+type ResilienceStats struct {
+	// RetriedRequests is the number of recorded requests beyond a first
+	// attempt.
+	RetriedRequests int
+	// SitesRecovered is the number of distinct registered domains that
+	// failed at least one request but later answered successfully.
+	SitesRecovered int
+	// SitesUnreachable is the number of distinct registered domains
+	// whose requests never succeeded.
+	SitesUnreachable int
+	// RecoveredRate and UnreachableRate are the two populations as
+	// fractions of all distinct domains the crawl sent requests to.
+	RecoveredRate   float64
+	UnreachableRate float64
+}
+
+// requestFailed classifies a recorded request as failed: a transport
+// error, or a degraded HTTP answer (5xx / 429).
+func requestFailed(errStr string, status int) bool {
+	return errStr != "" || status >= 500 || status == 429
+}
+
+// Resilience computes the transient-recovered vs permanently-unreachable
+// split across every crawler's request log.
+func (a *Analysis) Resilience() ResilienceStats {
+	var rs ResilienceStats
+	failed := map[string]bool{}
+	ok := map[string]bool{}
+	scan := func(rec *crawler.CrawlerStep) {
+		if rec == nil {
+			return
+		}
+		for _, req := range rec.Requests {
+			d := regOf(req.URL)
+			if d == "" {
+				continue
+			}
+			if req.Attempt > 0 {
+				rs.RetriedRequests++
+			}
+			if requestFailed(req.Err, req.Status) {
+				failed[d] = true
+			} else if req.Status > 0 {
+				ok[d] = true
+			}
+		}
+	}
+	for _, w := range a.ds.Walks {
+		for _, rec := range w.SeedLoad {
+			scan(rec)
+		}
+		for _, s := range w.Steps {
+			for _, rec := range s.Records {
+				scan(rec)
+			}
+		}
+	}
+	attempted := len(ok)
+	for d := range failed {
+		if ok[d] {
+			rs.SitesRecovered++
+		} else {
+			rs.SitesUnreachable++
+			attempted++
+		}
+	}
+	if attempted > 0 {
+		rs.RecoveredRate = float64(rs.SitesRecovered) / float64(attempted)
+		rs.UnreachableRate = float64(rs.SitesUnreachable) / float64(attempted)
+	}
+	return rs
+}
+
 // --- §5.1 / §7.1: blocklist coverage -------------------------------------------------
 
 // SmugglingURLs returns every unique URL participating in smuggling paths

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"crumbcruncher/internal/ident"
 	"crumbcruncher/internal/netsim"
 	"crumbcruncher/internal/publicsuffix"
+	"crumbcruncher/internal/resilience"
 	"crumbcruncher/internal/storage"
 	"crumbcruncher/internal/telemetry"
 )
@@ -96,6 +98,12 @@ type Browser struct {
 	requests []RequestRecord
 	visits   map[string]int // per-registered-domain visit counters
 
+	// attempt is the retry layer's current attempt index; it rides on
+	// every request as netsim.HeaderAttempt so transient fault episodes
+	// can recover deterministically per (domain, attempt). The browser
+	// is single-goroutine, so no lock is needed.
+	attempt int
+
 	// Cached telemetry instruments (all nil-safe no-ops when
 	// cfg.Telemetry is nil).
 	tel        *telemetry.Telemetry
@@ -135,6 +143,11 @@ func New(cfg Config) *Browser {
 		hChainHops: reg.Histogram("browser.redirect_chain_hops"),
 	}
 }
+
+// SetAttempt sets the retry attempt index stamped on subsequent requests
+// (0: first try, header omitted). The crawler's retry loop calls it
+// before each attempt and resets it to 0 afterwards.
+func (b *Browser) SetAttempt(n int) { b.attempt = n }
 
 // Store exposes the profile's storage (tests and countermeasures).
 func (b *Browser) Store() *storage.Store { return b.store }
@@ -227,6 +240,15 @@ func (b *Browser) navigate(rawURL, referer string) (*Page, error) {
 		if err != nil {
 			return nil, &NavError{URL: cur.String(), Chain: chain, Err: err}
 		}
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			// Degraded response: surface it as an error carrying the
+			// Retry-After hint so the retry layer can classify and pace.
+			he := &resilience.HTTPError{Status: resp.StatusCode, URL: cur.String()}
+			if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+				he.RetryAfter = time.Duration(s) * time.Second
+			}
+			return nil, &NavError{URL: cur.String(), Chain: chain, Err: he}
+		}
 		page := &Page{
 			URL:   cur,
 			Doc:   dom.Parse(body),
@@ -259,6 +281,9 @@ func (b *Browser) fetchCtx(u *url.URL, referer string, kind RequestKind, ctx sto
 	req.Header.Set(HeaderProfile, b.cfg.ProfileID)
 	req.Header.Set(HeaderClient, b.cfg.ClientID)
 	req.Header.Set(HeaderMachine, b.cfg.Machine)
+	if b.attempt > 0 {
+		req.Header.Set(netsim.HeaderAttempt, strconv.Itoa(b.attempt))
+	}
 	if referer != "" {
 		req.Header.Set("Referer", referer)
 	}
@@ -268,7 +293,7 @@ func (b *Browser) fetchCtx(u *url.URL, referer string, kind RequestKind, ctx sto
 	}
 
 	resp, err := b.client.Do(req)
-	rec := RequestRecord{URL: u.String(), Kind: kind, Referer: referer, Time: now}
+	rec := RequestRecord{URL: u.String(), Kind: kind, Referer: referer, Attempt: b.attempt, Time: now}
 	if err != nil {
 		rec.Err = err.Error()
 		b.record(rec)

@@ -24,6 +24,7 @@ type RequestRecord struct {
 	Referer string
 	Status  int    // 0 when the request failed
 	Err     string // network error, if any
+	Attempt int    // retry attempt index (0: first try)
 	Time    time.Time
 }
 

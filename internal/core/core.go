@@ -6,8 +6,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net/url"
+	"time"
 
 	"crumbcruncher/internal/analysis"
 	"crumbcruncher/internal/category"
@@ -15,6 +17,7 @@ import (
 	"crumbcruncher/internal/entity"
 	"crumbcruncher/internal/filterlist"
 	"crumbcruncher/internal/publicsuffix"
+	"crumbcruncher/internal/resilience"
 	"crumbcruncher/internal/telemetry"
 	"crumbcruncher/internal/tokens"
 	"crumbcruncher/internal/uid"
@@ -52,6 +55,20 @@ type Config struct {
 	// Identify configures UID identification (zero value: the paper's
 	// full method).
 	Identify uid.Options
+	// Retry is the crawl's navigation retry policy: capped exponential
+	// backoff with seeded jitter, slept on the virtual clock. The zero
+	// value performs no retries.
+	Retry resilience.Policy `json:"retry,omitempty"`
+	// Breaker configures per-registered-domain circuit breakers for the
+	// crawl; the zero value disables them.
+	Breaker resilience.BreakerConfig `json:"breaker,omitempty"`
+	// RequestDeadline, when > 0, makes the virtual network time out any
+	// request whose latency (including injected spikes) would exceed it.
+	RequestDeadline time.Duration `json:"request_deadline,omitempty"`
+	// Checkpoint, when non-nil, records completed walks incrementally
+	// and resumes an interrupted crawl without redoing finished walks.
+	// Runtime wiring, not configuration.
+	Checkpoint *crawler.Checkpoint `json:"-"`
 	// Telemetry, when non-nil, observes the whole pipeline: spans and
 	// metrics from the network simulator, browsers, crawler and every
 	// analysis stage. It is runtime wiring, not configuration (not
@@ -95,14 +112,25 @@ type Run struct {
 
 // Execute runs the full pipeline.
 func Execute(cfg Config) (*Run, error) {
+	return ExecuteContext(context.Background(), cfg)
+}
+
+// ExecuteContext runs the full pipeline under ctx. Cancelling mid-crawl
+// drains in-flight walks gracefully (recording them to the checkpoint,
+// when one is attached) and returns ctx's error; the analysis stages are
+// skipped for interrupted crawls.
+func ExecuteContext(ctx context.Context, cfg Config) (*Run, error) {
 	sp := cfg.Telemetry.StartSpan("core", "build_world")
 	world := web.BuildWorld(cfg.World)
 	sp.End()
 	// Binds the run's registry (and the virtual clock) to the network;
 	// a nil Telemetry leaves the network on its private registry.
 	world.Network().SetTelemetry(cfg.Telemetry)
+	if cfg.RequestDeadline > 0 {
+		world.Network().SetRequestDeadline(cfg.RequestDeadline)
+	}
 	csp := cfg.Telemetry.StartSpan("core", "crawl")
-	ds, err := crawler.Crawl(cfg.crawlConfig(world))
+	ds, err := crawler.CrawlContext(ctx, cfg.crawlConfig(world))
 	if err != nil {
 		csp.EndErr(err)
 		return nil, fmt.Errorf("core: crawl: %w", err)
@@ -126,6 +154,9 @@ func (cfg Config) crawlConfig(world *web.World) crawler.Config {
 		NoIframes:    cfg.NoIframes,
 		Machines:     cfg.Machines,
 		Telemetry:    cfg.Telemetry,
+		Retry:        cfg.Retry,
+		Breaker:      cfg.Breaker,
+		Checkpoint:   cfg.Checkpoint,
 	}
 }
 

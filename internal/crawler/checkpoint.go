@@ -1,0 +1,181 @@
+package crawler
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// checkpointVersion is bumped when the on-disk format changes.
+const checkpointVersion = 1
+
+// checkpointHeader is the first line of a checkpoint file. The seed is
+// validated on resume: a checkpoint only makes sense against the exact
+// deterministic world it was recorded in.
+type checkpointHeader struct {
+	Version int   `json:"version"`
+	Seed    int64 `json:"seed"`
+}
+
+// checkpointEntry is one completed walk: its index, the virtual instant
+// the shared clock had reached when the walk finished, and the full walk
+// record. On resume the clock is advanced to the latest recorded
+// instant, so (at Parallelism 1, where walks are strictly sequential)
+// the continuation replays exactly the uninterrupted schedule.
+type checkpointEntry struct {
+	Index int       `json:"index"`
+	Clock time.Time `json:"clock"`
+	Walk  *Walk     `json:"walk"`
+}
+
+// Checkpoint records completed walks to a JSONL file as the crawl makes
+// progress, and on reopen serves them back so an interrupted crawl
+// resumes without redoing finished walks. Safe for concurrent use.
+type Checkpoint struct {
+	mu       sync.Mutex
+	f        *os.File
+	enc      *json.Encoder
+	done     map[int]*Walk
+	maxClock time.Time
+}
+
+// OpenCheckpoint opens (or creates) the checkpoint file at path for a
+// crawl with the given seed. An existing file must carry the same seed;
+// its recorded walks become available via Completed. A truncated final
+// line (interrupted mid-write) is tolerated and ignored.
+func OpenCheckpoint(path string, seed int64) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: open checkpoint: %w", err)
+	}
+	cp := &Checkpoint{f: f, done: make(map[int]*Walk)}
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<26) // walks serialize large
+	if sc.Scan() {
+		var hdr checkpointHeader
+		if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("crawler: checkpoint %s: bad header: %w", path, err)
+		}
+		if hdr.Version != checkpointVersion {
+			f.Close()
+			return nil, fmt.Errorf("crawler: checkpoint %s: version %d, want %d", path, hdr.Version, checkpointVersion)
+		}
+		if hdr.Seed != seed {
+			f.Close()
+			return nil, fmt.Errorf("crawler: checkpoint %s: recorded for seed %d, crawl uses seed %d", path, hdr.Seed, seed)
+		}
+		for sc.Scan() {
+			var e checkpointEntry
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				break // interrupted mid-write: drop the partial tail
+			}
+			cp.done[e.Index] = e.Walk
+			if e.Clock.After(cp.maxClock) {
+				cp.maxClock = e.Clock
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("crawler: checkpoint %s: %w", path, err)
+	}
+
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("crawler: checkpoint %s: %w", path, err)
+	}
+	cp.enc = json.NewEncoder(f)
+	if len(cp.done) == 0 {
+		// Fresh (or header-only) file: (re)write the header.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("crawler: checkpoint %s: %w", path, err)
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("crawler: checkpoint %s: %w", path, err)
+		}
+		if err := cp.enc.Encode(checkpointHeader{Version: checkpointVersion, Seed: seed}); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("crawler: checkpoint %s: %w", path, err)
+		}
+	}
+	return cp, nil
+}
+
+// Completed returns the recorded walk for index, or nil if the walk has
+// not been checkpointed. Safe on a nil checkpoint.
+func (cp *Checkpoint) Completed(index int) *Walk {
+	if cp == nil {
+		return nil
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.done[index]
+}
+
+// CompletedCount returns how many walks the checkpoint holds.
+func (cp *Checkpoint) CompletedCount() int {
+	if cp == nil {
+		return 0
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return len(cp.done)
+}
+
+// MaxClock returns the latest virtual instant any recorded walk reached
+// (zero when empty).
+func (cp *Checkpoint) MaxClock() time.Time {
+	if cp == nil {
+		return time.Time{}
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.maxClock
+}
+
+// Record appends a completed walk. Already-recorded indices are ignored,
+// so resumed crawls never duplicate entries. Safe on a nil checkpoint.
+func (cp *Checkpoint) Record(index int, clock time.Time, w *Walk) error {
+	if cp == nil {
+		return nil
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if _, ok := cp.done[index]; ok {
+		return nil
+	}
+	if err := cp.enc.Encode(checkpointEntry{Index: index, Clock: clock, Walk: w}); err != nil {
+		return fmt.Errorf("crawler: checkpoint record walk %d: %w", index, err)
+	}
+	cp.done[index] = w
+	if clock.After(cp.maxClock) {
+		cp.maxClock = clock
+	}
+	return nil
+}
+
+// Close syncs and closes the checkpoint file. Safe on a nil checkpoint.
+func (cp *Checkpoint) Close() error {
+	if cp == nil {
+		return nil
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.f == nil {
+		return nil
+	}
+	err := cp.f.Sync()
+	if cerr := cp.f.Close(); err == nil {
+		err = cerr
+	}
+	cp.f = nil
+	return err
+}

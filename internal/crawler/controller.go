@@ -49,6 +49,13 @@ type Controller struct {
 
 	mu       sync.Mutex
 	barriers map[string]*barrier
+
+	// afterBarrier, when set, is invoked by the completing arrival of
+	// every rendezvous — while the other crawlers of the walk are still
+	// blocked in their Submit calls — giving the crawl a point where it
+	// can advance the virtual clock with no crawler concurrently
+	// stamping requests (see clockLedger).
+	afterBarrier func(walk int)
 }
 
 // NewController returns a controller. iframeBias is the probability of
@@ -107,7 +114,11 @@ func (c *Controller) SubmitElements(walk, step int, crawler string, elements []E
 			for name, v := range subs {
 				lists[name] = v.([]Element)
 			}
-			return c.decide(walk, step, lists)
+			res := c.decide(walk, step, lists)
+			if c.afterBarrier != nil {
+				c.afterBarrier(walk)
+			}
+			return res
 		})
 	if err != nil {
 		return Decision{}, err
@@ -173,6 +184,9 @@ func (c *Controller) SubmitLanding(walk, step int, crawler, fqdn string) (Landin
 				if f != first {
 					same = false
 				}
+			}
+			if c.afterBarrier != nil {
+				c.afterBarrier(walk)
 			}
 			return LandingResult{Synchronized: same}
 		})

@@ -1,16 +1,20 @@
 package crawler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/url"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crumbcruncher/internal/browser"
 	"crumbcruncher/internal/netsim"
+	"crumbcruncher/internal/publicsuffix"
+	"crumbcruncher/internal/resilience"
 	"crumbcruncher/internal/storage"
 	"crumbcruncher/internal/telemetry"
 )
@@ -64,6 +68,26 @@ type Config struct {
 	// counters and is handed down to every browser. Observation only;
 	// nil costs nothing.
 	Telemetry *telemetry.Telemetry
+	// Retry is the navigation retry policy. The zero value performs no
+	// retries (the pre-resilience behaviour); backoff is slept on the
+	// virtual clock, so retries cost no wall time.
+	Retry resilience.Policy
+	// Breaker configures per-registered-domain circuit breakers; the
+	// zero value disables them. Breaker short-circuiting is
+	// schedule-dependent at Parallelism > 1 (like the real crawl);
+	// dataset byte-determinism with breakers on holds at Parallelism 1.
+	Breaker resilience.BreakerConfig
+	// Checkpoint, when non-nil, records each completed walk and skips
+	// walks it already holds, so interrupted crawls resume without
+	// redoing finished work.
+	Checkpoint *Checkpoint `json:"-"`
+	// BackoffSleep, when non-nil, is additionally invoked with every
+	// backoff delay — a wall-clock hook tests use to prove that
+	// schedules perturbed only in real time leave results identical.
+	BackoffSleep func(time.Duration) `json:"-"`
+	// OnWalkComplete, when non-nil, is invoked after each walk is
+	// recorded (tests use it to cancel crawls at precise points).
+	OnWalkComplete func(*Walk) `json:"-"`
 }
 
 // withDefaults fills zero values.
@@ -100,6 +124,9 @@ func (cfg Config) withDefaults() Config {
 type crawlMetrics struct {
 	tel           *telemetry.Telemetry
 	walksDone     *telemetry.Counter
+	walksDegraded *telemetry.Counter
+	walksResumed  *telemetry.Counter
+	walksSkipped  *telemetry.Counter
 	steps         *telemetry.Counter
 	stepFailures  *telemetry.Counter
 	clicks        *telemetry.Counter
@@ -112,6 +139,9 @@ func newCrawlMetrics(t *telemetry.Telemetry) *crawlMetrics {
 	return &crawlMetrics{
 		tel:           t,
 		walksDone:     reg.Counter("crawler.walks_done"),
+		walksDegraded: reg.Counter("crawler.walks_degraded"),
+		walksResumed:  reg.Counter("crawler.walks_resumed"),
+		walksSkipped:  reg.Counter("crawler.walks_skipped"),
 		steps:         reg.Counter("crawler.steps"),
 		stepFailures:  reg.Counter("crawler.step_failures"),
 		clicks:        reg.Counter("crawler.clicks"),
@@ -134,6 +164,14 @@ func (cm *crawlMetrics) finishStep(sp *telemetry.Active, rec *CrawlerStep) {
 
 // Crawl runs the full measurement crawl and returns the dataset.
 func Crawl(cfg Config) (*Dataset, error) {
+	return CrawlContext(context.Background(), cfg)
+}
+
+// CrawlContext runs the crawl under ctx. Cancellation is graceful: no
+// new walks launch, in-flight walks drain to completion (and are
+// checkpointed), unstarted walks are marked Skipped, and the partial
+// dataset is returned alongside ctx's error.
+func CrawlContext(ctx context.Context, cfg Config) (*Dataset, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Network == nil {
 		return nil, errors.New("crawler: Config.Network is required")
@@ -156,33 +194,223 @@ func Crawl(cfg Config) (*Dataset, error) {
 	cm := newCrawlMetrics(cfg.Telemetry)
 	cfg.Telemetry.Registry().Gauge("crawler.walks_total").Set(int64(cfg.Walks))
 
+	ledger := newClockLedger(cfg.Network.Clock(), cfg.Walks)
+	ctrl.afterBarrier = ledger.drain
+
+	rt := &retrier{
+		seed:     cfg.Seed,
+		policy:   cfg.Retry,
+		clock:    cfg.Network.Clock(),
+		ledger:   ledger,
+		sleep:    cfg.BackoffSleep,
+		m:        resilience.NewMetrics(cfg.Telemetry.Registry()),
+		breakers: cfg.Network.Breakers(),
+	}
+	if cfg.Breaker.Enabled() && rt.breakers == nil {
+		psl := publicsuffix.Default()
+		rt.breakers = resilience.NewBreakerSet(cfg.Breaker, cfg.Network.Clock(), func(host string) string {
+			if d := psl.RegisteredDomain(host); d != "" {
+				return d
+			}
+			return host
+		}, cfg.Telemetry.Registry())
+		cfg.Network.SetBreakers(rt.breakers)
+	}
+
+	// Resume: restore the virtual clock to the furthest instant the
+	// interrupted crawl reached, so continued walks replay the
+	// uninterrupted schedule (exactly, at Parallelism 1).
+	if t := cfg.Checkpoint.MaxClock(); !t.IsZero() {
+		cfg.Network.Clock().AdvanceTo(t)
+	}
+
 	ds := &Dataset{Seed: cfg.Seed, Crawlers: AllCrawlers, Walks: make([]*Walk, cfg.Walks)}
 	sem := make(chan struct{}, cfg.Parallelism)
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Walks; i++ {
+		seeder := cfg.Seeders[i%len(cfg.Seeders)]
+		if w := cfg.Checkpoint.Completed(i); w != nil {
+			ds.Walks[i] = w
+			cm.walksResumed.Inc()
+			cm.walksDone.Inc()
+			continue
+		}
+		stop := ctx.Err() != nil
+		if !stop {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				stop = true
+			}
+		}
+		if stop {
+			ds.Walks[i] = &Walk{Index: i, Seeder: seeder, Skipped: true}
+			cm.walksSkipped.Inc()
+			continue
+		}
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(idx int) {
+		go func(idx int, seeder string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			seeder := cfg.Seeders[idx%len(cfg.Seeders)]
 			wcfg := cfg
 			if cfg.Machines > 1 {
 				wcfg.Machine = fmt.Sprintf("%s-inst%d", cfg.Machine, idx%cfg.Machines)
 			}
 			sp := cm.tel.StartSpan("crawler", "walk").
 				Attr("walk", strconv.Itoa(idx)).Attr("seeder", seeder)
-			w := runWalk(wcfg, api, idx, seeder, cm)
+			w := runWalk(wcfg, api, idx, seeder, cm, rt)
 			ds.Walks[idx] = w
 			if w.Ended != "" {
 				sp.Attr("ended", string(w.Ended))
 			}
 			sp.Attr("steps", strconv.Itoa(len(w.Steps))).End()
 			cm.walksDone.Inc()
-		}(i)
+			if err := cfg.Checkpoint.Record(idx, cfg.Network.Clock().Now(), w); err != nil {
+				w.Degraded = appendReason(w.Degraded, "checkpoint: "+err.Error())
+			}
+			if cfg.OnWalkComplete != nil {
+				cfg.OnWalkComplete(w)
+			}
+		}(i, seeder)
 	}
 	wg.Wait()
-	return ds, nil
+	return ds, ctx.Err()
+}
+
+// clockLedger makes intra-walk virtual time schedule-independent. The
+// three crawlers of a walk run concurrently and each owes the clock
+// time — dwell after every landing, backoff between retry attempts. If
+// each goroutine advanced the shared clock directly, the timestamps its
+// peers stamp on in-flight requests would depend on goroutine
+// interleaving and no two runs would produce byte-identical datasets.
+// Instead, advances are deposited into a per-walk pending account and
+// applied ("drained") only at points where no crawler of the walk is
+// mid-request: inside the controller's rendezvous (the completing
+// arrival drains while its peers are still blocked in their Submit
+// calls) and at end of walk. The total time applied is the sum of
+// deposits — commutative, hence identical under any schedule.
+type clockLedger struct {
+	clock   resilience.Clock
+	pending []atomic.Int64
+}
+
+func newClockLedger(clock resilience.Clock, walks int) *clockLedger {
+	return &clockLedger{clock: clock, pending: make([]atomic.Int64, walks)}
+}
+
+// drain applies a walk's pending time to the real clock.
+func (l *clockLedger) drain(walk int) {
+	if l == nil || walk < 0 || walk >= len(l.pending) {
+		return
+	}
+	if d := l.pending[walk].Swap(0); d > 0 {
+		l.clock.Advance(time.Duration(d))
+	}
+}
+
+// walkClock is the resilience.Clock handed to one walk's crawlers:
+// Advance defers into the walk's ledger account instead of moving the
+// shared clock.
+type walkClock struct {
+	l    *clockLedger
+	walk int
+}
+
+func (c walkClock) Now() time.Time { return c.l.clock.Now() }
+
+func (c walkClock) Advance(d time.Duration) time.Time {
+	if d > 0 {
+		c.l.pending[c.walk].Add(int64(d))
+	}
+	return c.l.clock.Now()
+}
+
+// appendReason joins quarantine notes.
+func appendReason(existing, add string) string {
+	if existing == "" {
+		return add
+	}
+	return existing + "; " + add
+}
+
+// retrier runs navigations under the crawl's retry policy and reports
+// whole-sequence outcomes to the circuit breakers. Breaker state thus
+// advances only on sequence boundaries — a transient domain that
+// recovers within its sequence can never trip a breaker, keeping breaker
+// decisions independent of how concurrent walks interleave.
+type retrier struct {
+	seed     int64
+	policy   resilience.Policy
+	clock    resilience.Clock
+	ledger   *clockLedger
+	sleep    func(time.Duration)
+	m        *resilience.Metrics
+	breakers *resilience.BreakerSet
+}
+
+// forWalk returns a copy whose clock defers advances into the walk's
+// ledger account, so backoff sleeps never race against peer crawlers'
+// request timestamps.
+func (rt *retrier) forWalk(walk int) *retrier {
+	if rt.ledger == nil {
+		return rt
+	}
+	cp := *rt
+	cp.clock = walkClock{l: rt.ledger, walk: walk}
+	return &cp
+}
+
+// do runs op (which must return the page it produced) under the retry
+// policy, stamping the attempt index on the browser for the fault
+// injector, and reports the sequence outcome to the breakers.
+func (rt *retrier) do(b *browser.Browser, key string, op func() (*browser.Page, error)) (*browser.Page, error) {
+	var page *browser.Page
+	err := resilience.Do(nil, rt.clock, rt.seed, key, rt.policy, rt.sleep, rt.m, func(attempt int) error {
+		b.SetAttempt(attempt)
+		defer b.SetAttempt(0)
+		p, err := op()
+		if err == nil {
+			page = p
+		}
+		return err
+	})
+	rt.report(page, err)
+	return page, err
+}
+
+// navigate is Browser.Navigate under policy.
+func (rt *retrier) navigate(b *browser.Browser, key, rawURL, referer string) (*browser.Page, error) {
+	return rt.do(b, key, func() (*browser.Page, error) { return b.Navigate(rawURL, referer) })
+}
+
+// click is Browser.Click under policy.
+func (rt *retrier) click(b *browser.Browser, key string, page *browser.Page, index int) (*browser.Page, error) {
+	return rt.do(b, key, func() (*browser.Page, error) { return b.Click(page, index) })
+}
+
+// report feeds one sequence outcome to the breakers: the landed host on
+// success, the unreachable host on transport failure. Click-logic
+// failures say nothing about a domain's health, and breaker rejections
+// must not re-count the failure that opened the breaker.
+func (rt *retrier) report(page *browser.Page, err error) {
+	if rt.breakers == nil {
+		return
+	}
+	if err == nil {
+		if page != nil {
+			rt.breakers.ReportHost(page.URL.Hostname(), nil)
+		}
+		return
+	}
+	if resilience.IsBreakerOpen(err) || !isConnectError(err) {
+		return
+	}
+	var nav *browser.NavError
+	if errors.As(err, &nav) && nav.URL != "" {
+		if u, perr := url.Parse(nav.URL); perr == nil && u.Hostname() != "" {
+			rt.breakers.ReportHost(u.Hostname(), err)
+		}
+	}
 }
 
 // uaFor returns the spoofed User-Agent for a crawler (§3.4).
@@ -228,11 +456,20 @@ func (ws *walkState) putStep(stepIdx int, name string, rec *CrawlerStep) {
 	ws.walk.Steps[stepIdx-1].Records[name] = rec
 }
 
+// degrade quarantines the walk with a reason instead of letting it
+// abort silently.
+func (ws *walkState) degrade(reason string) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	ws.walk.Degraded = appendReason(ws.walk.Degraded, reason)
+}
+
 // runWalk executes one walk: three synchronized crawler goroutines, with
 // Safari-1R trailing Safari-1 inside its goroutine.
-func runWalk(cfg Config, api API, idx int, seeder string, cm *crawlMetrics) *Walk {
+func runWalk(cfg Config, api API, idx int, seeder string, cm *crawlMetrics, rt *retrier) *Walk {
 	w := &Walk{Index: idx, Seeder: seeder, SeedLoad: make(map[string]*CrawlerStep)}
 	ws := &walkState{walk: w}
+	rt = rt.forWalk(idx)
 
 	newBrowser := func(name string) *browser.Browser {
 		return browser.New(browser.Config{
@@ -252,6 +489,13 @@ func runWalk(cfg Config, api API, idx int, seeder string, cm *crawlMetrics) *Wal
 		wg.Add(1)
 		go func(name string) {
 			defer wg.Done()
+			// Quarantine, don't crash: a panicking crawler degrades its
+			// walk; its peers drain via the controller's barrier timeout.
+			defer func() {
+				if p := recover(); p != nil {
+					ws.degrade(fmt.Sprintf("panic in %s: %v", name, p))
+				}
+			}()
 			r := &walkRunner{
 				cfg:  cfg,
 				api:  api,
@@ -260,6 +504,7 @@ func runWalk(cfg Config, api API, idx int, seeder string, cm *crawlMetrics) *Wal
 				name: name,
 				b:    newBrowser(name),
 				cm:   cm,
+				rt:   rt,
 			}
 			if name == Safari1 {
 				r.trailer = &trailRunner{
@@ -268,12 +513,17 @@ func runWalk(cfg Config, api API, idx int, seeder string, cm *crawlMetrics) *Wal
 					walk: idx,
 					b:    newBrowser(Safari1R),
 					cm:   cm,
+					rt:   rt,
 				}
 			}
 			r.run(seeder)
 		}(name)
 	}
 	wg.Wait()
+	// Apply any virtual time still owed (e.g. the last step's dwell, or
+	// backoff from a crawler that exited after the final rendezvous)
+	// before the walk is checkpointed.
+	rt.ledger.drain(idx)
 
 	// Derive step outcomes and the walk's end reason.
 	for _, s := range w.Steps {
@@ -283,6 +533,20 @@ func runWalk(cfg Config, api API, idx int, seeder string, cm *crawlMetrics) *Wal
 		if last := w.Steps[n-1]; last.Outcome != OutcomeOK {
 			w.Ended = last.Outcome
 		}
+	}
+	// A walk cut short by exhausted transport failures is quarantined
+	// with the failing crawler's reason rather than ending silently.
+	if w.Ended == OutcomeConnectError {
+		last := w.Steps[len(w.Steps)-1]
+		for _, name := range ParallelCrawlers {
+			if rec := last.Records[name]; rec != nil && strings.HasPrefix(rec.Fail, "connect:") {
+				w.Degraded = appendReason(w.Degraded, fmt.Sprintf("step %d %s: %s", last.Index, name, rec.Fail))
+				break
+			}
+		}
+	}
+	if w.Degraded != "" {
+		cm.walksDegraded.Inc()
 	}
 	return w
 }
@@ -335,6 +599,7 @@ type walkRunner struct {
 	b       *browser.Browser
 	trailer *trailRunner
 	cm      *crawlMetrics
+	rt      *retrier
 }
 
 // snapshot records the first-party storage of a page.
@@ -363,15 +628,21 @@ func takeSnapshot(b *browser.Browser, pageURL string) Snapshot {
 // run executes the walk for this crawler.
 func (r *walkRunner) run(seeder string) {
 	seedURL := "http://" + seeder + "/"
-	page, err := r.b.Navigate(seedURL, "")
+	page, err := r.rt.navigate(r.b, fmt.Sprintf("seed/%d/%s", r.walk, r.name), seedURL, "")
 	seedRec := &CrawlerStep{
 		Crawler:  r.name,
 		Profile:  ProfileOf(r.name),
 		StartURL: seedURL,
 		Requests: r.b.Requests(),
 	}
+	// lastNavErr is the navigation failure that most recently left this
+	// crawler without a live page; steps that start with page == nil
+	// derive their failure from it (their own state, not a variable
+	// captured from the seed navigation steps earlier).
+	var lastNavErr error
 	if err != nil {
 		seedRec.Fail = "connect: " + err.Error()
+		lastNavErr = err
 	} else {
 		seedRec.LandedURL = page.URL.String()
 		seedRec.After = r.snapshot(r.b, page.URL.String())
@@ -400,8 +671,10 @@ func (r *walkRunner) run(seeder string) {
 			for _, c := range clickables {
 				els = append(els, elementFrom(c, r.b.CrossDomain(page, c)))
 			}
+		} else if lastNavErr != nil {
+			rec.Fail = "connect: " + lastNavErr.Error()
 		} else {
-			rec.Fail = "connect: " + err.Error()
+			rec.Fail = "connect: no live page"
 		}
 
 		dec, derr := r.api.SubmitElements(r.walk, step, r.name, els)
@@ -421,8 +694,16 @@ func (r *walkRunner) run(seeder string) {
 			}
 			r.ws.putStep(step, r.name, rec)
 			r.cm.finishStep(sp, rec)
-			if r.trailer != nil && page != nil {
-				r.trailer.recordFail(step, "no common element")
+			// Safari-1R records the trailing failure in both branches:
+			// "no common element" when Safari-1 had a page, the connect
+			// failure when it did not — so the repeat-crawler dataset
+			// has no holes.
+			if r.trailer != nil {
+				if page != nil {
+					r.trailer.recordFail(step, "no common element")
+				} else {
+					r.trailer.recordFail(step, rec.Fail)
+				}
 			}
 			return
 		}
@@ -437,11 +718,12 @@ func (r *walkRunner) run(seeder string) {
 			r.cm.iframeClicks.Inc()
 		}
 		r.b.ResetRequests()
-		next, cerr := r.b.Click(page, dec.Index)
+		next, cerr := r.rt.click(r.b, fmt.Sprintf("click/%d/%d/%s", r.walk, step, r.name), page, dec.Index)
 		fqdn := ""
 		if cerr != nil {
 			if isConnectError(cerr) {
 				rec.Fail = "connect: " + cerr.Error()
+				lastNavErr = cerr
 			} else {
 				rec.Fail = "click: " + cerr.Error()
 			}
@@ -451,7 +733,9 @@ func (r *walkRunner) run(seeder string) {
 			}
 			rec.Requests = r.b.Requests()
 		} else {
-			r.cfg.Network.Clock().Advance(time.Duration(r.cfg.DwellSeconds) * time.Second)
+			// Dwell is deferred into the walk ledger; the landing
+			// rendezvous applies it once no peer is mid-request.
+			r.rt.clock.Advance(time.Duration(r.cfg.DwellSeconds) * time.Second)
 			rec.NavChain = next.Chain
 			rec.LandedURL = next.URL.String()
 			rec.Requests = r.b.Requests()
@@ -512,10 +796,11 @@ type trailRunner struct {
 	b    *browser.Browser
 	page *browser.Page
 	cm   *crawlMetrics
+	rt   *retrier
 }
 
 func (t *trailRunner) repeatSeed(seedURL string) {
-	page, err := t.b.Navigate(seedURL, "")
+	page, err := t.rt.navigate(t.b, fmt.Sprintf("seed/%d/%s", t.walk, Safari1R), seedURL, "")
 	rec := &CrawlerStep{
 		Crawler:  Safari1R,
 		Profile:  ProfileOf(Safari1R),
@@ -553,7 +838,7 @@ func (t *trailRunner) repeatStep(step int, startURL string, s1Elements []Element
 	rec := &CrawlerStep{Crawler: Safari1R, Profile: ProfileOf(Safari1R), ClickIndex: -1}
 	if t.page == nil || (startURL != "" && !sameURLSansQuery(t.page.URL.String(), startURL)) {
 		t.cm.renavigations.Inc()
-		page, err := t.b.Navigate(startURL, "")
+		page, err := t.rt.navigate(t.b, fmt.Sprintf("renav/%d/%d/%s", t.walk, step, Safari1R), startURL, "")
 		if err != nil {
 			rec.Fail = "connect: " + err.Error()
 			rec.StartURL = startURL
@@ -582,7 +867,7 @@ func (t *trailRunner) repeatStep(step int, startURL string, s1Elements []Element
 	}
 	rec.ClickIndex = match
 	t.b.ResetRequests()
-	next, err := t.b.Click(t.page, match)
+	next, err := t.rt.click(t.b, fmt.Sprintf("click/%d/%d/%s", t.walk, step, Safari1R), t.page, match)
 	if err != nil {
 		rec.Fail = "click: " + err.Error()
 		rec.Requests = t.b.Requests()
@@ -590,7 +875,7 @@ func (t *trailRunner) repeatStep(step int, startURL string, s1Elements []Element
 		t.page = nil
 		return
 	}
-	t.cfg.Network.Clock().Advance(time.Duration(t.cfg.DwellSeconds) * time.Second)
+	t.rt.clock.Advance(time.Duration(t.cfg.DwellSeconds) * time.Second)
 	rec.NavChain = next.Chain
 	rec.LandedURL = next.URL.String()
 	rec.Requests = t.b.Requests()

@@ -1,0 +1,446 @@
+package crawler
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crumbcruncher/internal/netsim"
+	"crumbcruncher/internal/resilience"
+	"crumbcruncher/internal/telemetry"
+	"crumbcruncher/internal/web"
+)
+
+// TestDeriveOutcomePrecedence pins the outcome precedence order:
+// connect > no-common-element > click-failed > divergent > OK — including
+// padded steps where some crawlers have no record at all.
+func TestDeriveOutcomePrecedence(t *testing.T) {
+	land := func(host string) *CrawlerStep {
+		return &CrawlerStep{LandedURL: "http://" + host + "/p"}
+	}
+	connect := &CrawlerStep{Fail: "connect: dial tcp: connection refused"}
+	noMatch := &CrawlerStep{Fail: "no common element"}
+	clickFail := &CrawlerStep{Fail: "click: no such element"}
+
+	cases := []struct {
+		name    string
+		records map[string]*CrawlerStep
+		want    StepOutcome
+	}{
+		{
+			"all land same host",
+			map[string]*CrawlerStep{Safari1: land("a.com"), Safari2: land("a.com"), Chrome3: land("a.com")},
+			OutcomeOK,
+		},
+		{
+			"divergent landings",
+			map[string]*CrawlerStep{Safari1: land("a.com"), Safari2: land("b.com"), Chrome3: land("a.com")},
+			OutcomeDivergent,
+		},
+		{
+			"partial records never OK",
+			map[string]*CrawlerStep{Safari1: land("a.com"), Safari2: land("a.com")},
+			OutcomeDivergent,
+		},
+		{
+			"no records at all",
+			map[string]*CrawlerStep{},
+			OutcomeDivergent,
+		},
+		{
+			"connect beats everything",
+			map[string]*CrawlerStep{Safari1: connect, Safari2: noMatch, Chrome3: clickFail},
+			OutcomeConnectError,
+		},
+		{
+			"connect beats landings",
+			map[string]*CrawlerStep{Safari1: land("a.com"), Safari2: land("a.com"), Chrome3: connect},
+			OutcomeConnectError,
+		},
+		{
+			"no-common-element beats click failure",
+			map[string]*CrawlerStep{Safari1: noMatch, Safari2: clickFail, Chrome3: land("a.com")},
+			OutcomeNoCommonElement,
+		},
+		{
+			"click failure beats divergence",
+			map[string]*CrawlerStep{Safari1: clickFail, Safari2: land("a.com"), Chrome3: land("b.com")},
+			OutcomeClickFailed,
+		},
+		{
+			"click failure with partial records",
+			map[string]*CrawlerStep{Safari1: clickFail},
+			OutcomeClickFailed,
+		},
+	}
+	for _, tc := range cases {
+		s := &Step{Records: tc.records}
+		if got := deriveOutcome(s); got != tc.want {
+			t.Errorf("%s: deriveOutcome = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// deadNetwork is a network where every non-exempt domain refuses
+// connections.
+func deadNetwork(seed int64) *netsim.Network {
+	n := netsim.New()
+	n.SetFaults(netsim.NewFaultInjector(seed, 1.0))
+	return n
+}
+
+// TestSeedFailureRecordsEveryCrawler is the satellite regression for the
+// stale-error and trailer-gap bugs: when the seed navigation fails, every
+// step record — all three parallel crawlers AND Safari-1R — must exist
+// and carry a connect failure derived from that crawler's own state.
+func TestSeedFailureRecordsEveryCrawler(t *testing.T) {
+	ds, err := Crawl(Config{
+		Seed:             3,
+		Network:          deadNetwork(3),
+		Seeders:          []string{"dead.example.com"},
+		Walks:            1,
+		StepsPerWalk:     4,
+		DirectController: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ds.Walks[0]
+	for _, name := range AllCrawlers {
+		rec := w.SeedLoad[name]
+		if rec == nil {
+			t.Fatalf("seed load record missing for %s", name)
+		}
+		if !strings.HasPrefix(rec.Fail, "connect:") {
+			t.Fatalf("%s seed Fail = %q, want connect failure", name, rec.Fail)
+		}
+	}
+	if len(w.Steps) == 0 {
+		t.Fatal("no step recorded after seed failure")
+	}
+	s := w.Steps[0]
+	for _, name := range ParallelCrawlers {
+		rec := s.Records[name]
+		if rec == nil {
+			t.Fatalf("step 1 record missing for %s (stale-error path)", name)
+		}
+		if !strings.HasPrefix(rec.Fail, "connect:") {
+			t.Fatalf("%s step 1 Fail = %q, want its own connect failure", name, rec.Fail)
+		}
+	}
+	// The trailer gap: Safari-1R must get a step record even though
+	// Safari-1 had no live page.
+	rec := s.Records[Safari1R]
+	if rec == nil {
+		t.Fatal("Safari-1R step 1 record missing (trailer gap)")
+	}
+	if !strings.HasPrefix(rec.Fail, "connect:") {
+		t.Fatalf("Safari-1R step 1 Fail = %q, want the connect failure", rec.Fail)
+	}
+	if s.Outcome != OutcomeConnectError || w.Ended != OutcomeConnectError {
+		t.Fatalf("outcome = %s, ended = %s, want connect-error", s.Outcome, w.Ended)
+	}
+	if w.Degraded == "" {
+		t.Error("connect-terminated walk not quarantined with a reason")
+	}
+}
+
+// TestRetryRecoversTransientSeeder drives a flaky seeder (first attempts
+// fail, then recover) through the retry layer and proves the walk keeps
+// its measurement instead of losing the site.
+func TestRetryRecoversTransientSeeder(t *testing.T) {
+	n := netsim.New()
+	n.SetFaults(netsim.NewFaultInjectorConfig(5, netsim.FaultConfig{TransientRate: 1, TransientMaxFails: 2}))
+	n.HandleFunc("flaky.example.com", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "<html><body>hello</body></html>")
+	})
+	tel := telemetry.New(nil, 64)
+	ds, err := Crawl(Config{
+		Seed:             5,
+		Network:          n,
+		Seeders:          []string{"flaky.example.com"},
+		Walks:            1,
+		StepsPerWalk:     1,
+		DirectController: true,
+		Telemetry:        tel,
+		Retry:            resilience.DefaultPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ds.Walks[0]
+	for _, name := range AllCrawlers {
+		rec := w.SeedLoad[name]
+		if rec == nil || rec.Fail != "" {
+			t.Fatalf("%s seed load = %+v, want recovered success", name, rec)
+		}
+		if rec.LandedURL == "" {
+			t.Fatalf("%s has no landing despite recovery", name)
+		}
+	}
+	if w.Ended == OutcomeConnectError {
+		t.Fatal("walk lost to a transient failure despite retries")
+	}
+	reg := tel.Registry()
+	if v := reg.Counter("resilience.retries").Value(); v == 0 {
+		t.Error("no retries counted for a transient seeder")
+	}
+	if v := reg.Counter("resilience.recovered").Value(); v == 0 {
+		t.Error("no recovered sequences counted")
+	}
+	if v := reg.Counter("resilience.exhausted").Value(); v != 0 {
+		t.Errorf("exhausted = %d, want 0 (domain recovers within the policy)", v)
+	}
+	// Without retries the same world loses the walk — the control arm.
+	n2 := netsim.New()
+	n2.SetFaults(netsim.NewFaultInjectorConfig(5, netsim.FaultConfig{TransientRate: 1, TransientMaxFails: 2}))
+	n2.HandleFunc("flaky.example.com", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "<html><body>hello</body></html>")
+	})
+	ds2, err := Crawl(Config{
+		Seed:             5,
+		Network:          n2,
+		Seeders:          []string{"flaky.example.com"},
+		Walks:            1,
+		StepsPerWalk:     1,
+		DirectController: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds2.Walks[0].Ended; got != OutcomeConnectError {
+		t.Fatalf("control walk ended %q, want connect-error without retries", got)
+	}
+}
+
+// marshalDataset renders a dataset to bytes for byte-identity checks.
+func marshalDataset(t *testing.T, ds *Dataset) []byte {
+	t.Helper()
+	b, err := json.Marshal(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// faultyCrawl runs a transient-fault world with retries at the given
+// parallelism, with an optional wall-clock sleep hook.
+func faultyCrawl(t *testing.T, parallelism int, sleep func(time.Duration)) *Dataset {
+	t.Helper()
+	cfg := web.SmallConfig()
+	cfg.TransientFailRate = 0.3
+	cfg.HTTPDegradeRate = 0.2
+	w := web.BuildWorld(cfg)
+	ds, err := Crawl(Config{
+		Seed:         cfg.Seed,
+		Network:      w.Network(),
+		Seeders:      w.Seeders(),
+		Walks:        8,
+		Parallelism:  parallelism,
+		Retry:        resilience.DefaultPolicy(),
+		BackoffSleep: sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestCrawlWithRetriesDeterministicAtParallelism1 proves two same-seed
+// crawls with transient faults and retries enabled are byte-identical.
+func TestCrawlWithRetriesDeterministicAtParallelism1(t *testing.T) {
+	a := marshalDataset(t, faultyCrawl(t, 1, nil))
+	b := marshalDataset(t, faultyCrawl(t, 1, nil))
+	if string(a) != string(b) {
+		t.Fatal("datasets differ between identical runs at Parallelism 1")
+	}
+}
+
+// TestCrawlWithRetriesDeterministicAtParallelism8 proves fault and retry
+// decisions are independent of goroutine scheduling: step outcomes match
+// across reruns and across parallelism levels.
+func TestCrawlWithRetriesDeterministicAtParallelism8(t *testing.T) {
+	counts := func(ds *Dataset) map[StepOutcome]int { return ds.OutcomeCounts() }
+	p1 := counts(faultyCrawl(t, 1, nil))
+	a := counts(faultyCrawl(t, 8, nil))
+	b := counts(faultyCrawl(t, 8, nil))
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("outcome %s differs between P8 reruns: %d vs %d", k, v, b[k])
+		}
+		if p1[k] != v {
+			t.Fatalf("outcome %s differs between P1 and P8: %d vs %d", k, p1[k], v)
+		}
+	}
+}
+
+// TestWallPerturbedBackoffSameDataset retries with a wall-clock sleep
+// injected into every backoff: real time passes differently, virtual
+// time does not, and the dataset must be byte-identical.
+func TestWallPerturbedBackoffSameDataset(t *testing.T) {
+	base := marshalDataset(t, faultyCrawl(t, 1, nil))
+	var i atomic.Int64 // the hook fires from concurrent crawler goroutines
+	perturbed := marshalDataset(t, faultyCrawl(t, 1, func(time.Duration) {
+		time.Sleep(time.Duration(i.Add(1)%3) * time.Millisecond)
+	}))
+	if i.Load() == 0 {
+		t.Fatal("sleep hook never invoked — no retries happened, test proves nothing")
+	}
+	if string(base) != string(perturbed) {
+		t.Fatal("wall-clock perturbation of backoff changed the dataset")
+	}
+}
+
+// TestCheckpointResumeByteIdentical cancels a crawl after 3 of 6 walks,
+// resumes it from the checkpoint, and proves the combined dataset is
+// byte-identical to an uninterrupted run.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	cfg := web.SmallConfig()
+	cfg.TransientFailRate = 0.3
+	crawlCfg := func(w *web.World) Config {
+		return Config{
+			Seed:        cfg.Seed,
+			Network:     w.Network(),
+			Seeders:     w.Seeders(),
+			Walks:       6,
+			Parallelism: 1,
+			Retry:       resilience.DefaultPolicy(),
+		}
+	}
+
+	// The uninterrupted reference run.
+	full, err := Crawl(crawlCfg(web.BuildWorld(cfg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel after the third walk completes.
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	ckpt, err := OpenCheckpoint(path, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := 0
+	icfg := crawlCfg(web.BuildWorld(cfg))
+	icfg.Checkpoint = ckpt
+	icfg.OnWalkComplete = func(*Walk) {
+		if done++; done == 3 {
+			cancel()
+		}
+	}
+	partial, err := CrawlContext(ctx, icfg)
+	if err == nil {
+		t.Fatal("cancelled crawl returned nil error")
+	}
+	cancel()
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	skipped := 0
+	for _, w := range partial.Walks {
+		if w.Skipped {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("cancellation skipped no walks; the resume arm would be vacuous")
+	}
+
+	// Resume from the checkpoint with a fresh world.
+	ckpt2, err := OpenCheckpoint(path, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt2.Close()
+	if n := ckpt2.CompletedCount(); n != 3 {
+		t.Fatalf("checkpoint holds %d walks, want 3", n)
+	}
+	rcfg := crawlCfg(web.BuildWorld(cfg))
+	rcfg.Checkpoint = ckpt2
+	resumed, err := Crawl(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range resumed.Walks {
+		if w.Skipped {
+			t.Fatalf("walk %d still skipped after resume", w.Index)
+		}
+	}
+	if a, b := marshalDataset(t, full), marshalDataset(t, resumed); string(a) != string(b) {
+		t.Fatal("resumed dataset differs from the uninterrupted run")
+	}
+}
+
+// TestCheckpointRejectsWrongSeed guards the resume precondition: a
+// checkpoint only makes sense against the world it was recorded in.
+func TestCheckpointRejectsWrongSeed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	ckpt, err := OpenCheckpoint(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Record(0, netsim.Epoch, &Walk{Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, 2); err == nil {
+		t.Fatal("checkpoint for seed 1 opened under seed 2")
+	}
+}
+
+// TestCircuitBreakerFailsFast crawls repeatedly into a permanently-dead
+// seeder with retries and a breaker: the first sequences trip the
+// breaker, later walks are rejected without consuming retry attempts,
+// and the rejections are visible in the netsim.breaker_open counter.
+func TestCircuitBreakerFailsFast(t *testing.T) {
+	tel := telemetry.New(nil, 256)
+	n := deadNetwork(7)
+	// Bind the network's counters (breaker_open et al.) to the registry;
+	// core.Execute does this wiring, Crawl alone does not.
+	n.SetTelemetry(tel)
+	ds, err := Crawl(Config{
+		Seed:             7,
+		Network:          n,
+		Seeders:          []string{"dead.example.com"},
+		Walks:            6,
+		StepsPerWalk:     1,
+		Parallelism:      1,
+		DirectController: true,
+		Telemetry:        tel,
+		Retry:            resilience.Policy{MaxAttempts: 3, BaseDelay: time.Second},
+		Breaker:          resilience.BreakerConfig{Threshold: 2, Cooldown: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := n.Breakers().State("dead.example.com"); st != resilience.BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", st)
+	}
+	reg := tel.Registry()
+	if v := reg.Counter("netsim.breaker_opened").Value(); v != 1 {
+		t.Errorf("breaker_opened = %d, want exactly 1", v)
+	}
+	if v := reg.Counter("netsim.breaker_open").Value(); v == 0 {
+		t.Error("no fail-fast rejections counted in netsim.breaker_open")
+	}
+	// Retries stop once the breaker is open: with threshold 2 and 3
+	// attempts per sequence, only the first two sequences may retry.
+	if v := reg.Counter("resilience.retries").Value(); v != 4 {
+		t.Errorf("retries = %d, want 4 (2 tripping sequences x 2 retries; breaker-open is permanent)", v)
+	}
+	// Every walk still fails — fast, but recorded.
+	for _, w := range ds.Walks {
+		if w.Ended != OutcomeConnectError {
+			t.Fatalf("walk %d ended %q, want connect-error", w.Index, w.Ended)
+		}
+	}
+}

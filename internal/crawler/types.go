@@ -128,6 +128,13 @@ type Walk struct {
 	SeedLoad map[string]*CrawlerStep `json:"seed_load,omitempty"`
 	// Ended describes why the walk stopped before its full length.
 	Ended StepOutcome `json:"ended,omitempty"`
+	// Degraded quarantines a walk that was cut short by exhausted
+	// transport failures or a crawler panic, recording why; its data is
+	// still analysed.
+	Degraded string `json:"degraded,omitempty"`
+	// Skipped marks a walk that never started because the crawl was
+	// cancelled; resumed crawls re-run skipped walks.
+	Skipped bool `json:"skipped,omitempty"`
 }
 
 // Dataset is a complete crawl.

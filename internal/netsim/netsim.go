@@ -32,9 +32,16 @@ import (
 	"time"
 
 	"crumbcruncher/internal/publicsuffix"
+	"crumbcruncher/internal/resilience"
 	"crumbcruncher/internal/stats"
 	"crumbcruncher/internal/telemetry"
 )
+
+// HeaderAttempt carries the retry layer's 0-based attempt index on each
+// request. Transient fault episodes are a pure function of (registered
+// domain, attempt) — not of virtual time — so outcomes are independent
+// of goroutine interleaving and identical at any Parallelism.
+const HeaderAttempt = "X-Crumb-Attempt"
 
 // Network is a virtual Internet: a host registry plus fault and latency
 // models. It is safe for concurrent use by multiple crawlers.
@@ -42,20 +49,25 @@ type Network struct {
 	mu    sync.RWMutex
 	hosts map[string]http.Handler
 
-	faults  *FaultInjector
-	latency *LatencyModel
-	clock   *VirtualClock
+	faults   *FaultInjector
+	latency  *LatencyModel
+	clock    *VirtualClock
+	breakers *resilience.BreakerSet
+	deadline time.Duration
 
 	// Request accounting lives in a telemetry registry: a private one
 	// by default, the run's shared registry after SetTelemetry. The
 	// instrument handles are cached so the hot path never takes the
 	// registry lock.
-	tel            *telemetry.Telemetry
-	requests       *telemetry.Counter
-	failures       *telemetry.Counter
-	faultsInjected *telemetry.Counter
-	unknownHosts   *telemetry.Counter
-	latencyHist    *telemetry.Histogram
+	tel              *telemetry.Telemetry
+	requests         *telemetry.Counter
+	failures         *telemetry.Counter
+	faultsInjected   *telemetry.Counter
+	unknownHosts     *telemetry.Counter
+	latencyHist      *telemetry.Histogram
+	breakerOpen      *telemetry.Counter
+	deadlineExceeded *telemetry.Counter
+	degradedResps    *telemetry.Counter
 
 	// observers are notified of every request before dispatch. Used by
 	// tests; the browser layer records its own requests.
@@ -82,6 +94,9 @@ func (n *Network) bindInstruments(reg *telemetry.Registry) {
 	n.faultsInjected = reg.Counter("netsim.faults_injected")
 	n.unknownHosts = reg.Counter("netsim.unknown_hosts")
 	n.latencyHist = reg.Histogram("netsim.latency_us")
+	n.breakerOpen = reg.Counter("netsim.breaker_open")
+	n.deadlineExceeded = reg.Counter("netsim.deadline_exceeded")
+	n.degradedResps = reg.Counter("netsim.degraded_responses")
 }
 
 // SetTelemetry attaches the run's telemetry: per-request spans stamped
@@ -118,6 +133,21 @@ func (n *Network) SetLatency(l *LatencyModel) {
 	}
 	n.latency = l
 }
+
+// SetBreakers installs the crawl's circuit-breaker table; RoundTrip
+// fails fast (without dispatching) on hosts whose breaker is open.
+// Passing nil disables breaker checks. Must be called before the
+// network is shared with concurrent users.
+func (n *Network) SetBreakers(b *resilience.BreakerSet) { n.breakers = b }
+
+// Breakers returns the installed breaker table (nil when disabled).
+func (n *Network) Breakers() *resilience.BreakerSet { return n.breakers }
+
+// SetRequestDeadline enforces a per-request deadline: any request whose
+// sampled latency (including injected spikes) would exceed d instead
+// consumes exactly d of virtual time and fails with a timeout. Zero
+// disables deadlines. Must be called before the network is shared.
+func (n *Network) SetRequestDeadline(d time.Duration) { n.deadline = d }
 
 // Clock returns the network's virtual clock.
 func (n *Network) Clock() *VirtualClock { return n.clock }
@@ -210,6 +240,10 @@ func (e *ErrUnknownHost) Error() string {
 	return fmt.Sprintf("netsim: lookup %s: no such host", e.Host)
 }
 
+// Permanent marks NXDOMAIN non-retryable: a host that does not resolve
+// now never will inside one simulated crawl.
+func (e *ErrUnknownHost) Permanent() bool { return true }
+
 // RoundTrip implements http.RoundTripper.
 func (n *Network) RoundTrip(req *http.Request) (*http.Response, error) {
 	n.requests.Inc()
@@ -223,11 +257,26 @@ func (n *Network) RoundTrip(req *http.Request) (*http.Response, error) {
 		s.fn(req)
 	}
 
-	if err := n.faults.Check(host); err != nil {
+	// Fail fast before fault injection or latency: an open breaker
+	// models the client refusing to dial at all.
+	if err, ok := n.breakers.Allow(host); !ok {
+		n.failures.Inc()
+		n.breakerOpen.Inc()
+		sp.Attr("fault", "breaker-open").EndErr(err)
+		return nil, err
+	}
+
+	attempt := 0
+	if v := req.Header.Get(HeaderAttempt); v != "" {
+		attempt, _ = strconv.Atoi(v)
+	}
+
+	ft := n.faults.At(host, attempt)
+	if ft.Err != nil {
 		n.failures.Inc()
 		n.faultsInjected.Inc()
-		sp.Attr("fault", "injected").EndErr(err)
-		return nil, err
+		sp.Attr("fault", "injected").EndErr(ft.Err)
+		return nil, ft.Err
 	}
 
 	n.mu.RLock()
@@ -241,9 +290,37 @@ func (n *Network) RoundTrip(req *http.Request) (*http.Response, error) {
 		return nil, err
 	}
 
-	lat := n.latency.Sample(host)
+	lat := n.latency.Sample(host) + ft.ExtraLatency
+	if n.deadline > 0 && lat > n.deadline {
+		// The client hangs up at the deadline: the request consumes
+		// exactly the deadline of virtual time, then times out.
+		n.clock.Advance(n.deadline)
+		n.latencyHist.Observe(n.deadline.Microseconds())
+		n.failures.Inc()
+		n.deadlineExceeded.Inc()
+		err := &net.OpError{Op: "read", Net: "tcp", Err: &timeoutError{}}
+		sp.Attr("fault", "deadline").EndErr(err)
+		return nil, err
+	}
 	n.clock.Advance(lat)
 	n.latencyHist.Observe(lat.Microseconds())
+
+	if ft.Status != 0 {
+		// HTTP-level degradation: the origin answers, but with an
+		// injected 502/503 carrying a Retry-After hint and a truncated
+		// body — the handler is never consulted.
+		n.degradedResps.Inc()
+		rec := httptest.NewRecorder()
+		if ft.RetryAfter > 0 {
+			rec.Header().Set("Retry-After", strconv.Itoa(int(ft.RetryAfter/time.Second)))
+		}
+		rec.WriteHeader(ft.Status)
+		io.WriteString(rec, http.StatusText(ft.Status))
+		resp := rec.Result()
+		resp.Request = req
+		sp.Attr("fault", "degraded").Attr("status", strconv.Itoa(ft.Status)).End()
+		return resp, nil
+	}
 
 	rec := httptest.NewRecorder()
 	handler.ServeHTTP(rec, req)
@@ -284,31 +361,111 @@ func ReadBody(resp *http.Response) (string, error) {
 	return string(b), err
 }
 
+// FaultConfig describes the full fault model. The zero value injects
+// nothing; a bare connect-fail rate reproduces the original
+// permanent-outage-only injector.
+type FaultConfig struct {
+	// ConnectFailRate is the fraction of registered domains that are
+	// permanently unreachable (the paper's 3.3%).
+	ConnectFailRate float64 `json:"connect_fail_rate,omitempty"`
+	// TransientRate is the fraction of domains that are flaky: their
+	// first k connection attempts of any retry sequence fail with a
+	// transport error, then they recover (k is seed-derived per domain
+	// in [1, TransientMaxFails]).
+	TransientRate float64 `json:"transient_rate,omitempty"`
+	// TransientMaxFails bounds k for transient domains (0: 2).
+	TransientMaxFails int `json:"transient_max_fails,omitempty"`
+	// DegradeRate is the fraction of domains whose first k attempts are
+	// answered with an injected 502/503 (Retry-After set, truncated
+	// body) before serving real content.
+	DegradeRate float64 `json:"degrade_rate,omitempty"`
+	// DegradeMaxFails bounds k for degraded domains (0: 2).
+	DegradeMaxFails int `json:"degrade_max_fails,omitempty"`
+	// SpikeRate is the fraction of domains whose first attempt carries
+	// SpikeLatency of extra latency — enough to blow a request deadline
+	// when one is set.
+	SpikeRate float64 `json:"spike_rate,omitempty"`
+	// SpikeLatency is the extra first-attempt latency for spiky domains
+	// (0: 30s).
+	SpikeLatency time.Duration `json:"spike_latency,omitempty"`
+}
+
+func (c FaultConfig) withDefaults() FaultConfig {
+	if c.TransientMaxFails <= 0 {
+		c.TransientMaxFails = 2
+	}
+	if c.DegradeMaxFails <= 0 {
+		c.DegradeMaxFails = 2
+	}
+	if c.SpikeLatency <= 0 {
+		c.SpikeLatency = 30 * time.Second
+	}
+	return c
+}
+
+// Fault is the injected behaviour for one request: a transport error, a
+// degraded HTTP response, extra latency, or (the zero value) nothing.
+type Fault struct {
+	// Err, when non-nil, fails the request at the transport level.
+	Err error
+	// Status, when non-zero, synthesizes a degraded HTTP response.
+	Status int
+	// RetryAfter is the degraded response's Retry-After hint.
+	RetryAfter time.Duration
+	// ExtraLatency is added to the request's sampled latency.
+	ExtraLatency time.Duration
+}
+
+// Hash salts: each class of decision draws from an independent stream,
+// so enabling a new fault class never perturbs an existing one.
+const (
+	saltPermanent      = 0 // permanent-outage membership
+	saltFlavour        = 1 // transport-error flavour
+	saltTransient      = 2 // transient-episode membership
+	saltTransientFails = 3 // transient episode length k
+	saltDegrade        = 4 // degraded-domain membership
+	saltDegradeFails   = 5 // degrade episode length k
+	saltDegradeStatus  = 6 // 502 vs 503
+	saltRetryAfter     = 7 // Retry-After hint seconds
+	saltSpike          = 8 // latency-spike membership
+)
+
 // FaultInjector decides, deterministically per registered domain, whether
-// connections to a host fail and with which error. The per-domain decision
-// matches the paper's observation model: a site is either reachable for the
-// whole crawl or not, so all four synchronized crawlers see the same
-// failure at step 1 of a walk.
+// connections to a host fail and with which behaviour. Permanent-outage
+// decisions match the paper's observation model: a site is either
+// reachable for the whole crawl or not, so all four synchronized crawlers
+// see the same failure at step 1 of a walk. Transient decisions are keyed
+// by (domain, attempt) — never by clock readings — so outcomes do not
+// depend on goroutine scheduling.
 type FaultInjector struct {
 	seed   uint64
-	rate   float64
+	cfg    FaultConfig
 	psl    *publicsuffix.List
 	exempt map[string]bool
 }
 
 // NewFaultInjector returns an injector failing connections to a fraction
-// rate of registered domains, derived from seed.
+// rate of registered domains permanently, derived from seed.
 func NewFaultInjector(seed int64, rate float64) *FaultInjector {
+	return NewFaultInjectorConfig(seed, FaultConfig{ConnectFailRate: rate})
+}
+
+// NewFaultInjectorConfig returns an injector implementing the full fault
+// model in cfg, derived from seed.
+func NewFaultInjectorConfig(seed int64, cfg FaultConfig) *FaultInjector {
 	return &FaultInjector{
 		seed:   uint64(stats.DeriveSeed(seed, "netsim/faults")),
-		rate:   rate,
+		cfg:    cfg.withDefaults(),
 		psl:    publicsuffix.Default(),
 		exempt: make(map[string]bool),
 	}
 }
 
-// Rate returns the configured failure rate.
-func (f *FaultInjector) Rate() float64 { return f.rate }
+// Rate returns the configured permanent failure rate.
+func (f *FaultInjector) Rate() float64 { return f.cfg.ConnectFailRate }
+
+// Config returns the injector's full fault model.
+func (f *FaultInjector) Config() FaultConfig { return f.cfg }
 
 // Exempt excludes the registered domains of the given hosts from fault
 // injection. The synthetic web exempts tracker infrastructure so that the
@@ -325,35 +482,40 @@ func (f *FaultInjector) Exempt(hosts ...string) {
 	}
 }
 
-// Unreachable reports whether the registered domain of host is failed by
-// this injector.
-func (f *FaultInjector) Unreachable(host string) bool {
-	if f.rate <= 0 {
+// domainOf maps a host to its fault-decision key: the registered domain,
+// or the host itself when no registrable suffix matches.
+func (f *FaultInjector) domainOf(host string) string {
+	if d := f.psl.RegisteredDomain(host); d != "" {
+		return d
+	}
+	return host
+}
+
+// in reports whether domain falls in the fraction rate of the population
+// selected by the salt's hash stream.
+func (f *FaultInjector) in(domain string, salt uint64, rate float64) bool {
+	if rate <= 0 {
 		return false
 	}
-	domain := f.psl.RegisteredDomain(host)
-	if domain == "" {
-		domain = host
-	}
+	return f.hash(domain, salt)%10000 < uint64(rate*10000)
+}
+
+// Unreachable reports whether the registered domain of host is
+// permanently failed by this injector.
+func (f *FaultInjector) Unreachable(host string) bool {
+	domain := f.domainOf(host)
 	if f.exempt[domain] {
 		return false
 	}
-	return f.hash(domain, 0)%10000 < uint64(f.rate*10000)
+	return f.in(domain, saltPermanent, f.cfg.ConnectFailRate)
 }
 
-// Check returns the injected error for host, or nil if the host is
-// reachable. The error flavour (refused, reset, timeout) is itself a
-// deterministic function of the domain, mirroring the paper's
-// "ECONNREFUSED, ECONNRESET, etc.".
-func (f *FaultInjector) Check(host string) error {
-	if !f.Unreachable(host) {
-		return nil
-	}
-	domain := f.psl.RegisteredDomain(host)
-	if domain == "" {
-		domain = host
-	}
-	switch f.hash(domain, 1) % 3 {
+// flavour is the deterministic per-domain transport error (refused,
+// reset, timeout), mirroring the paper's "ECONNREFUSED, ECONNRESET,
+// etc.". Permanent and transient failures of one domain share a flavour:
+// a flaky host looks exactly like a dead one until a retry gets through.
+func (f *FaultInjector) flavour(domain string) error {
+	switch f.hash(domain, saltFlavour) % 3 {
 	case 0:
 		return &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
 	case 1:
@@ -361,6 +523,71 @@ func (f *FaultInjector) Check(host string) error {
 	default:
 		return &net.OpError{Op: "dial", Net: "tcp", Err: &timeoutError{}}
 	}
+}
+
+// Check returns the injected permanent error for host, or nil if the
+// host is reachable. Transient behaviour is attempt-dependent; use At.
+func (f *FaultInjector) Check(host string) error {
+	if !f.Unreachable(host) {
+		return nil
+	}
+	return f.flavour(f.domainOf(host))
+}
+
+// TransientFails returns how many leading attempts of a retry sequence
+// fail for host's domain (0: the domain is not transient).
+func (f *FaultInjector) TransientFails(host string) int {
+	domain := f.domainOf(host)
+	if f.exempt[domain] || !f.in(domain, saltTransient, f.cfg.TransientRate) {
+		return 0
+	}
+	return 1 + int(f.hash(domain, saltTransientFails)%uint64(f.cfg.TransientMaxFails))
+}
+
+// DegradeFails returns how many leading attempts are answered with an
+// injected 502/503 for host's domain (0: never degraded).
+func (f *FaultInjector) DegradeFails(host string) int {
+	domain := f.domainOf(host)
+	if f.exempt[domain] || !f.in(domain, saltDegrade, f.cfg.DegradeRate) {
+		return 0
+	}
+	return 1 + int(f.hash(domain, saltDegradeFails)%uint64(f.cfg.DegradeMaxFails))
+}
+
+// Spiky reports whether host's domain suffers a first-attempt latency
+// spike.
+func (f *FaultInjector) Spiky(host string) bool {
+	domain := f.domainOf(host)
+	return !f.exempt[domain] && f.in(domain, saltSpike, f.cfg.SpikeRate)
+}
+
+// At returns the injected fault for the given attempt (0-based) against
+// host. Classes are checked in severity order — permanent outage, then
+// transient transport error, then HTTP degradation, then latency spike —
+// and the decision is a pure function of (registered domain, attempt).
+func (f *FaultInjector) At(host string, attempt int) Fault {
+	domain := f.domainOf(host)
+	if f.exempt[domain] {
+		return Fault{}
+	}
+	if f.in(domain, saltPermanent, f.cfg.ConnectFailRate) {
+		return Fault{Err: f.flavour(domain)}
+	}
+	if k := f.TransientFails(host); attempt < k {
+		return Fault{Err: f.flavour(domain)}
+	}
+	if k := f.DegradeFails(host); attempt < k {
+		status := http.StatusBadGateway
+		if f.hash(domain, saltDegradeStatus)%2 == 1 {
+			status = http.StatusServiceUnavailable
+		}
+		retryAfter := time.Duration(1+f.hash(domain, saltRetryAfter)%3) * time.Second
+		return Fault{Status: status, RetryAfter: retryAfter}
+	}
+	if attempt == 0 && f.Spiky(host) {
+		return Fault{ExtraLatency: f.cfg.SpikeLatency}
+	}
+	return Fault{}
 }
 
 func (f *FaultInjector) hash(domain string, salt uint64) uint64 {
@@ -444,6 +671,18 @@ func (c *VirtualClock) Advance(d time.Duration) time.Time {
 	defer c.mu.Unlock()
 	if d > 0 {
 		c.now = c.now.Add(d)
+	}
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to t if t is in the future (the
+// clock never goes backwards) and returns the current time. Checkpoint
+// resume uses it to restore the instant an interrupted crawl reached.
+func (c *VirtualClock) AdvanceTo(t time.Time) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.After(c.now) {
+		c.now = t
 	}
 	return c.now
 }

@@ -104,6 +104,15 @@ func Render(w io.Writer, r *core.Run) {
 		{"Connection failures (sites)", pct(fr.ConnectError), "3.3%"},
 	})
 
+	// Resilience split: the paper's 3.3% treats every connection failure
+	// as a lost site; with retries enabled, part of that population is
+	// transient and recovered.
+	if rs := r.Analysis.Resilience(); rs.SitesRecovered > 0 || rs.RetriedRequests > 0 {
+		fmt.Fprintf(w, "Resilience: %d retried requests; %d sites transient-recovered (%s), %d permanently unreachable (%s; the paper's 3.3%% counts both)\n\n",
+			rs.RetriedRequests, rs.SitesRecovered, pct(rs.RecoveredRate),
+			rs.SitesUnreachable, pct(rs.UnreachableRate))
+	}
+
 	// Transport-level failure rate from the network simulator's own
 	// request accounting. A re-analysed saved run rebuilds the world
 	// without crawling it, so its network has no traffic to report.

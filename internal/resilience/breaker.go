@@ -1,0 +1,234 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"crumbcruncher/internal/telemetry"
+)
+
+// BreakerConfig configures the per-domain circuit breakers. The zero
+// value disables them.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failed navigation
+	// *sequences* (whole retry loops, not individual attempts) that trip
+	// a domain's breaker open (<= 0: breakers disabled). Counting
+	// sequences rather than attempts keeps breaker state independent of
+	// goroutine interleaving: a transient domain always recovers within
+	// its sequence, so it can never trip a breaker no matter how walks
+	// overlap.
+	Threshold int `json:"threshold,omitempty"`
+	// Cooldown is how long (virtual time) an open breaker rejects
+	// traffic before admitting a half-open probe (0: 5 minutes).
+	Cooldown time.Duration `json:"cooldown,omitempty"`
+}
+
+// Enabled reports whether breakers are active.
+func (c BreakerConfig) Enabled() bool { return c.Threshold > 0 }
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Minute
+	}
+	return c
+}
+
+// BreakerState is a circuit breaker's state.
+type BreakerState int
+
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects traffic until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits probe traffic; the next report decides
+	// whether the breaker closes again or re-opens.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerOpenError is the fail-fast error returned for requests to a
+// domain whose breaker is open. It wraps the failure that tripped the
+// breaker, so crawl records keep the domain's real error flavour, and is
+// permanent so the retry layer never retries against an open breaker.
+type BreakerOpenError struct {
+	Domain string
+	Err    error
+}
+
+// Error implements error.
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("resilience: circuit open for %s: %v", e.Domain, e.Err)
+}
+
+// Unwrap exposes the tripping error to errors.Is/As.
+func (e *BreakerOpenError) Unwrap() error { return e.Err }
+
+// Permanent marks breaker rejections non-retryable (no retry storms).
+func (e *BreakerOpenError) Permanent() bool { return true }
+
+// Timeout implements net.Error (the original failure was transport
+// level, and crawl code classifies transport failures via net.Error).
+func (e *BreakerOpenError) Timeout() bool { return false }
+
+// Temporary implements net.Error.
+func (e *BreakerOpenError) Temporary() bool { return false }
+
+// IsBreakerOpen reports whether err is (or wraps) a breaker rejection.
+func IsBreakerOpen(err error) bool {
+	var boe *BreakerOpenError
+	return errors.As(err, &boe)
+}
+
+// breaker is one domain's circuit state; guarded by its BreakerSet.
+type breaker struct {
+	state    BreakerState
+	fails    int       // consecutive failed sequences while closed
+	lastErr  error     // the failure that tripped the breaker
+	openedAt time.Time // virtual instant the breaker last opened
+}
+
+// BreakerSet is the per-registered-domain circuit breaker table shared
+// by a crawl. The transport (netsim) consults Allow on every request to
+// fail fast; the crawler reports whole navigation sequences via
+// ReportHost. Safe for concurrent use.
+type BreakerSet struct {
+	cfg   BreakerConfig
+	clock Clock
+	// key maps a host to its breaker key (registered domain in the real
+	// pipeline; identity when nil).
+	key func(host string) string
+
+	mu sync.Mutex
+	m  map[string]*breaker
+
+	// Transition counters (nil-safe when built without a registry).
+	cOpened   *telemetry.Counter
+	cClosed   *telemetry.Counter
+	cHalfOpen *telemetry.Counter
+	gOpen     *telemetry.Gauge
+}
+
+// NewBreakerSet returns a breaker table. clock must be non-nil when cfg
+// is enabled; key may be nil (hosts are then their own keys); reg may be
+// nil (no transition telemetry).
+func NewBreakerSet(cfg BreakerConfig, clock Clock, key func(string) string, reg *telemetry.Registry) *BreakerSet {
+	if key == nil {
+		key = func(h string) string { return h }
+	}
+	return &BreakerSet{
+		cfg:       cfg.withDefaults(),
+		clock:     clock,
+		key:       key,
+		m:         make(map[string]*breaker),
+		cOpened:   reg.Counter("netsim.breaker_opened"),
+		cClosed:   reg.Counter("netsim.breaker_closed"),
+		cHalfOpen: reg.Counter("netsim.breaker_half_open"),
+		gOpen:     reg.Gauge("netsim.breakers_open"),
+	}
+}
+
+// Allow reports whether a request to host may proceed. When the domain's
+// breaker is open (and the cooldown has not elapsed) it returns
+// (rejection error, false); the error wraps the failure that tripped the
+// breaker. An elapsed cooldown moves the breaker to half-open and admits
+// the probe. Safe on a nil set.
+func (s *BreakerSet) Allow(host string) (error, bool) {
+	if s == nil || !s.cfg.Enabled() {
+		return nil, true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.key(host)
+	b := s.m[d]
+	if b == nil || b.state == BreakerClosed {
+		return nil, true
+	}
+	if b.state == BreakerOpen {
+		if s.clock.Now().Sub(b.openedAt) < s.cfg.Cooldown {
+			return &BreakerOpenError{Domain: d, Err: b.lastErr}, false
+		}
+		b.state = BreakerHalfOpen
+		s.cHalfOpen.Inc()
+		s.gOpen.Add(-1)
+	}
+	return nil, true // half-open: admit probes until a report decides
+}
+
+// ReportHost records the outcome of one whole navigation sequence (a
+// full retry loop) against host: nil err resets/closes the domain's
+// breaker, a failure counts toward Threshold (closed) or re-opens it
+// (half-open). Breaker rejections themselves must not be reported.
+// Safe on a nil set.
+func (s *BreakerSet) ReportHost(host string, err error) {
+	if s == nil || !s.cfg.Enabled() || IsBreakerOpen(err) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.key(host)
+	b := s.m[d]
+	if b == nil {
+		if err == nil {
+			return // healthy domain with no breaker yet: nothing to track
+		}
+		b = &breaker{}
+		s.m[d] = b
+	}
+	if err == nil {
+		if b.state != BreakerClosed {
+			s.cClosed.Inc()
+		}
+		b.state = BreakerClosed
+		b.fails = 0
+		b.lastErr = nil
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		s.open(b, err)
+	case BreakerClosed:
+		b.fails++
+		b.lastErr = err
+		if b.fails >= s.cfg.Threshold {
+			s.open(b, err)
+		}
+	}
+}
+
+// open transitions b to open; callers hold the lock.
+func (s *BreakerSet) open(b *breaker, err error) {
+	b.state = BreakerOpen
+	b.fails = 0
+	b.lastErr = err
+	b.openedAt = s.clock.Now()
+	s.cOpened.Inc()
+	s.gOpen.Add(1)
+}
+
+// State returns the current state of host's breaker (closed when
+// untracked). Exposed for tests and reporting.
+func (s *BreakerSet) State(host string) BreakerState {
+	if s == nil {
+		return BreakerClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b := s.m[s.key(host)]; b != nil {
+		return b.state
+	}
+	return BreakerClosed
+}

@@ -1,0 +1,318 @@
+package resilience
+
+import (
+	"errors"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+
+	"crumbcruncher/internal/telemetry"
+)
+
+// fakeClock is a minimal virtual clock for tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) Now() time.Time                    { return c.t }
+func (c *fakeClock) Advance(d time.Duration) time.Time { c.t = c.t.Add(d); return c.t }
+
+func TestBackoffDeterministic(t *testing.T) {
+	p := DefaultPolicy()
+	for attempt := 0; attempt < 4; attempt++ {
+		a := p.Backoff(7, "seed/3/Safari-1", attempt)
+		b := p.Backoff(7, "seed/3/Safari-1", attempt)
+		if a != b {
+			t.Fatalf("attempt %d: backoff not deterministic: %v vs %v", attempt, a, b)
+		}
+	}
+	if p.Backoff(7, "seed/3/Safari-1", 0) == p.Backoff(7, "seed/4/Safari-1", 0) {
+		t.Error("distinct keys produced identical jittered delays (possible, but with 20% jitter over float64 it signals the key is ignored)")
+	}
+	if p.Backoff(7, "k", 1) == p.Backoff(8, "k", 1) {
+		t.Error("distinct seeds produced identical jittered delays")
+	}
+}
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Second, MaxDelay: 8 * time.Second, Multiplier: 2}
+	want := []time.Duration{1 * time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second, 8 * time.Second, 8 * time.Second}
+	for attempt, w := range want {
+		if got := p.Backoff(1, "k", attempt); got != w {
+			t.Errorf("attempt %d: backoff = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Second, MaxDelay: 8 * time.Second, Multiplier: 2, JitterFrac: 0.2}
+	for i := 0; i < 200; i++ {
+		d := p.Backoff(int64(i), "k", 1) // nominal 2s
+		lo, hi := 1600*time.Millisecond, 2400*time.Millisecond
+		if d < lo || d > hi {
+			t.Fatalf("seed %d: jittered delay %v outside [%v, %v]", i, d, lo, hi)
+		}
+	}
+}
+
+func TestDoRecoversAfterTransientFailure(t *testing.T) {
+	clock := &fakeClock{}
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	var slept []time.Duration
+	calls := 0
+	err := Do(nil, clock, 1, "k", Policy{MaxAttempts: 3, BaseDelay: time.Second, MaxDelay: time.Second, Multiplier: 1},
+		func(d time.Duration) { slept = append(slept, d) }, m,
+		func(attempt int) error {
+			calls++
+			if attempt < 2 {
+				return &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Do = %v, want recovery", err)
+	}
+	if calls != 3 {
+		t.Errorf("op called %d times, want 3", calls)
+	}
+	if got := clock.Now().Sub(time.Time{}); got != 2*time.Second {
+		t.Errorf("virtual clock advanced %v, want 2s (two 1s backoffs)", got)
+	}
+	if len(slept) != 2 {
+		t.Errorf("sleep hook invoked %d times, want 2", len(slept))
+	}
+	if v := m.Retries.Value(); v != 2 {
+		t.Errorf("retries counter = %d, want 2", v)
+	}
+	if v := m.Recovered.Value(); v != 1 {
+		t.Errorf("recovered counter = %d, want 1", v)
+	}
+	if v := m.Exhausted.Value(); v != 0 {
+		t.Errorf("exhausted counter = %d, want 0", v)
+	}
+}
+
+func TestDoStopsOnPermanentError(t *testing.T) {
+	clock := &fakeClock{}
+	m := NewMetrics(telemetry.NewRegistry())
+	calls := 0
+	permanent := errors.New("no common element")
+	err := Do(nil, clock, 1, "k", DefaultPolicy(), nil, m, func(int) error {
+		calls++
+		return permanent
+	})
+	if !errors.Is(err, permanent) {
+		t.Fatalf("Do = %v, want the permanent error", err)
+	}
+	if calls != 1 {
+		t.Errorf("op called %d times, want 1 (permanent errors must not retry)", calls)
+	}
+	if clock.Now() != (time.Time{}) {
+		t.Errorf("clock advanced %v for a permanent failure", clock.Now().Sub(time.Time{}))
+	}
+	if v := m.Exhausted.Value(); v != 1 {
+		t.Errorf("exhausted counter = %d, want 1", v)
+	}
+}
+
+func TestDoExhaustsRetries(t *testing.T) {
+	clock := &fakeClock{}
+	m := NewMetrics(telemetry.NewRegistry())
+	calls := 0
+	err := Do(nil, clock, 1, "k", Policy{MaxAttempts: 3, BaseDelay: time.Millisecond}, nil, m, func(int) error {
+		calls++
+		return &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}
+	})
+	if err == nil {
+		t.Fatal("Do = nil, want exhaustion error")
+	}
+	if calls != 3 {
+		t.Errorf("op called %d times, want 3", calls)
+	}
+	if v := m.Exhausted.Value(); v != 1 {
+		t.Errorf("exhausted counter = %d, want 1", v)
+	}
+	if v := m.Recovered.Value(); v != 0 {
+		t.Errorf("recovered counter = %d, want 0", v)
+	}
+}
+
+func TestDoHonoursRetryAfterHint(t *testing.T) {
+	clock := &fakeClock{}
+	err := Do(nil, clock, 1, "k", Policy{MaxAttempts: 2, BaseDelay: time.Second, MaxDelay: time.Second, Multiplier: 1}, nil, nil,
+		func(attempt int) error {
+			if attempt == 0 {
+				return &HTTPError{Status: 503, RetryAfter: 10 * time.Second, URL: "http://a.example.com/"}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Do = %v, want recovery", err)
+	}
+	if got := clock.Now().Sub(time.Time{}); got != 10*time.Second {
+		t.Errorf("clock advanced %v, want the 10s Retry-After hint over the 1s backoff", got)
+	}
+}
+
+func TestDoZeroPolicySingleAttempt(t *testing.T) {
+	calls := 0
+	failure := &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}
+	err := Do(nil, &fakeClock{}, 1, "k", Policy{}, nil, nil, func(int) error {
+		calls++
+		return failure
+	})
+	if calls != 1 {
+		t.Errorf("zero policy ran %d attempts, want exactly 1 (pre-resilience behaviour)", calls)
+	}
+	if !errors.Is(err, failure) {
+		t.Errorf("Do = %v, want the op's error", err)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain error", errors.New("click failed"), false},
+		{"op error", &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}, true},
+		{"wrapped op error", &net.OpError{Op: "read", Err: syscall.ECONNRESET}, true},
+		{"http 502", &HTTPError{Status: 502}, true},
+		{"http 503", &HTTPError{Status: 503}, true},
+		{"http 504", &HTTPError{Status: 504}, true},
+		{"http 429", &HTTPError{Status: 429}, true},
+		{"http 500", &HTTPError{Status: 500}, false},
+		{"http 404", &HTTPError{Status: 404}, false},
+		{"breaker open", &BreakerOpenError{Domain: "a.example.com", Err: errors.New("down")}, false},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	reg := telemetry.NewRegistry()
+	set := NewBreakerSet(BreakerConfig{Threshold: 2, Cooldown: time.Minute}, clock, nil, reg)
+	down := errors.New("connection refused")
+
+	if err, ok := set.Allow("dead.example.com"); !ok || err != nil {
+		t.Fatalf("fresh breaker rejected traffic: %v", err)
+	}
+	set.ReportHost("dead.example.com", down)
+	if st := set.State("dead.example.com"); st != BreakerClosed {
+		t.Fatalf("after 1/2 failures state = %v, want closed", st)
+	}
+	set.ReportHost("dead.example.com", down)
+	if st := set.State("dead.example.com"); st != BreakerOpen {
+		t.Fatalf("after threshold failures state = %v, want open", st)
+	}
+	err, ok := set.Allow("dead.example.com")
+	if ok {
+		t.Fatal("open breaker admitted traffic")
+	}
+	if !IsBreakerOpen(err) {
+		t.Fatalf("rejection error %v is not a BreakerOpenError", err)
+	}
+	if !errors.Is(err, down) {
+		t.Errorf("rejection %v does not wrap the tripping failure", err)
+	}
+	if Retryable(err) {
+		t.Error("breaker rejection classified retryable; would cause retry storms")
+	}
+	if v := reg.Counter("netsim.breaker_opened").Value(); v != 1 {
+		t.Errorf("breaker_opened = %d, want 1", v)
+	}
+	if v := reg.Gauge("netsim.breakers_open").Value(); v != 1 {
+		t.Errorf("breakers_open gauge = %d, want 1", v)
+	}
+
+	// Cooldown elapses: the next Allow is a half-open probe.
+	clock.Advance(2 * time.Minute)
+	if err, ok := set.Allow("dead.example.com"); !ok || err != nil {
+		t.Fatalf("post-cooldown probe rejected: %v", err)
+	}
+	if st := set.State("dead.example.com"); st != BreakerHalfOpen {
+		t.Fatalf("post-cooldown state = %v, want half-open", st)
+	}
+
+	// Probe fails: re-open.
+	set.ReportHost("dead.example.com", down)
+	if st := set.State("dead.example.com"); st != BreakerOpen {
+		t.Fatalf("after failed probe state = %v, want open", st)
+	}
+
+	// Second probe succeeds: closed, failure count reset.
+	clock.Advance(2 * time.Minute)
+	set.Allow("dead.example.com")
+	set.ReportHost("dead.example.com", nil)
+	if st := set.State("dead.example.com"); st != BreakerClosed {
+		t.Fatalf("after successful probe state = %v, want closed", st)
+	}
+	set.ReportHost("dead.example.com", down)
+	if st := set.State("dead.example.com"); st != BreakerClosed {
+		t.Fatalf("one failure after recovery state = %v, want closed (count must reset)", st)
+	}
+	if v := reg.Counter("netsim.breaker_closed").Value(); v != 1 {
+		t.Errorf("breaker_closed = %d, want 1", v)
+	}
+	if v := reg.Gauge("netsim.breakers_open").Value(); v != 0 {
+		t.Errorf("breakers_open gauge = %d, want 0", v)
+	}
+}
+
+func TestBreakerKeyGroupsHosts(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	key := func(h string) string {
+		// Toy registered-domain mapping: strip one subdomain label.
+		if h == "a.tracker.example.com" || h == "b.tracker.example.com" {
+			return "tracker.example.com"
+		}
+		return h
+	}
+	set := NewBreakerSet(BreakerConfig{Threshold: 2, Cooldown: time.Minute}, clock, key, nil)
+	down := errors.New("down")
+	set.ReportHost("a.tracker.example.com", down)
+	set.ReportHost("b.tracker.example.com", down)
+	if _, ok := set.Allow("a.tracker.example.com"); ok {
+		t.Error("failures on sibling hosts did not trip the shared registered-domain breaker")
+	}
+	if _, ok := set.Allow("b.tracker.example.com"); ok {
+		t.Error("sibling host admitted despite the domain breaker being open")
+	}
+}
+
+func TestBreakerIgnoresBreakerOpenReports(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	set := NewBreakerSet(BreakerConfig{Threshold: 1, Cooldown: time.Hour}, clock, nil, nil)
+	set.ReportHost("dead.example.com", errors.New("down"))
+	rejection, _ := set.Allow("dead.example.com")
+	// Feeding rejections back must not extend or mutate breaker state.
+	set.ReportHost("dead.example.com", rejection)
+	if st := set.State("dead.example.com"); st != BreakerOpen {
+		t.Fatalf("state = %v, want open (rejection reports are ignored, not failures)", st)
+	}
+}
+
+func TestBreakerNilAndDisabled(t *testing.T) {
+	var nilSet *BreakerSet
+	if err, ok := nilSet.Allow("x"); !ok || err != nil {
+		t.Error("nil set must admit everything")
+	}
+	nilSet.ReportHost("x", errors.New("down")) // must not panic
+	if st := nilSet.State("x"); st != BreakerClosed {
+		t.Errorf("nil set state = %v, want closed", st)
+	}
+
+	disabled := NewBreakerSet(BreakerConfig{}, &fakeClock{}, nil, nil)
+	for i := 0; i < 10; i++ {
+		disabled.ReportHost("x", errors.New("down"))
+	}
+	if _, ok := disabled.Allow("x"); !ok {
+		t.Error("disabled breakers rejected traffic")
+	}
+}

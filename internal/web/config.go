@@ -87,6 +87,27 @@ type Config struct {
 	// connections (paper: 3.3%).
 	ConnectFailRate float64
 
+	// TransientFailRate is the fraction of domains that are flaky rather
+	// than dead: the first few connection attempts of any retry sequence
+	// fail with a transport error, then the domain recovers. 0 (the
+	// default) injects none; retries are what turn these from losses
+	// into recovered sites.
+	TransientFailRate float64
+	// TransientMaxFails bounds how many leading attempts a transient
+	// domain fails (0: netsim's default of 2).
+	TransientMaxFails int
+	// HTTPDegradeRate is the fraction of domains whose first attempts
+	// are answered with an injected 502/503 carrying a Retry-After hint
+	// before real content is served. 0 injects none.
+	HTTPDegradeRate float64
+	// LatencySpikeRate is the fraction of domains whose first attempt
+	// suffers a deadline-blowing latency spike. Only observable when a
+	// request deadline is set. 0 injects none.
+	LatencySpikeRate float64
+	// SpikeLatencyMS is the extra first-attempt latency for spiky
+	// domains in milliseconds (0: netsim's default of 30s).
+	SpikeLatencyMS int
+
 	// FingerprinterSiteFraction is the fraction of sites that host
 	// fingerprinting trackers (the Iqbal-style list of §3.5).
 	FingerprinterSiteFraction float64

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"crumbcruncher/internal/netsim"
 	"crumbcruncher/internal/publicsuffix"
@@ -860,7 +861,14 @@ func (w *World) registerParams() {
 // essentially never down, and without this exemption a single faulted hub
 // would fail a disproportionate share of crawl steps.
 func (w *World) installFaults() {
-	f := netsim.NewFaultInjector(w.cfg.Seed, w.cfg.ConnectFailRate)
+	f := netsim.NewFaultInjectorConfig(w.cfg.Seed, netsim.FaultConfig{
+		ConnectFailRate:   w.cfg.ConnectFailRate,
+		TransientRate:     w.cfg.TransientFailRate,
+		TransientMaxFails: w.cfg.TransientMaxFails,
+		DegradeRate:       w.cfg.HTTPDegradeRate,
+		SpikeRate:         w.cfg.LatencySpikeRate,
+		SpikeLatency:      time.Duration(w.cfg.SpikeLatencyMS) * time.Millisecond,
+	})
 	for _, t := range w.trackers {
 		f.Exempt(t.OwnedDomains...)
 	}

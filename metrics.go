@@ -24,6 +24,14 @@ type Metrics struct {
 	DivergentRate       float64 `json:"divergent_rate"`
 	ConnectFailRate     float64 `json:"connect_fail_rate"`
 
+	// Resilience split of the connection-failure population (all zero
+	// when the crawl ran without retries or transient faults).
+	RetriedRequests     int     `json:"retried_requests,omitempty"`
+	SitesRecovered      int     `json:"sites_transient_recovered,omitempty"`
+	SitesUnreachable    int     `json:"sites_permanently_unreachable,omitempty"`
+	RecoveredSiteRate   float64 `json:"transient_recovered_rate,omitempty"`
+	UnreachableSiteRate float64 `json:"permanently_unreachable_rate,omitempty"`
+
 	// Table 1.
 	Table1 map[string]int `json:"table1"`
 
@@ -61,6 +69,7 @@ type Metrics struct {
 func ComputeMetrics(r *Run) Metrics {
 	s := r.Analysis.Summarize()
 	fr := r.Analysis.FailureRates()
+	rs := r.Analysis.Resilience()
 	lt := uid.ComputeLifetimeStats(r.Cases, r.Lifetimes)
 	buckets := uid.BucketCounts(r.Cases)
 	t1 := make(map[string]int, len(buckets))
@@ -78,6 +87,12 @@ func ComputeMetrics(r *Run) Metrics {
 		NoCommonElementRate: fr.NoCommonElement,
 		DivergentRate:       fr.Divergent,
 		ConnectFailRate:     fr.ConnectError,
+
+		RetriedRequests:     rs.RetriedRequests,
+		SitesRecovered:      rs.SitesRecovered,
+		SitesUnreachable:    rs.SitesUnreachable,
+		RecoveredSiteRate:   rs.RecoveredRate,
+		UnreachableSiteRate: rs.UnreachableRate,
 
 		Table1: t1,
 

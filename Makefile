@@ -21,8 +21,9 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The tracked benchmark pair (full crawl + parallel re-analysis),
-# archived as BENCH_pr2.json for cross-run comparison.
+# The tracked benchmark set (full crawl, parallel re-analysis,
+# streaming-vs-batch engine), archived as BENCH_pr4.json for cross-run
+# comparison.
 bench:
 	scripts/bench.sh
 

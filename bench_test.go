@@ -14,6 +14,7 @@
 package crumbcruncher_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -758,6 +759,99 @@ func BenchmarkLimitationRefererSmuggling(b *testing.B) {
 	}
 	b.ReportMetric(float64(missed), "invisibleRefererTransfers")
 	b.ReportMetric(float64(len(r.Cases)), "visibleUIDCases")
+}
+
+// --- Streaming execution engine ----------------------------------------------
+
+// BenchmarkExecuteStreaming compares the streaming engine (walks flow
+// into analysis as they finish) against the batch path (crawl fully,
+// then analyze) on the same seed at worker-pool sizes 1 and 4. Both
+// produce byte-identical metrics (see TestStreamingMatchesBatch); the
+// streaming variant should come in at or below batch wall-clock at
+// parallelism ≥ 4 by absorbing the serial post-crawl analysis tail
+// into the crawl, with peak live residency at or below batch's (both
+// engines end holding the same fully-materialized Run).
+//
+// The engines are timed alternately inside each iteration — separate
+// sub-benchmark series sit minutes apart on a busy host, and CPU steal
+// over that span swamps the effect being measured. Each engine's
+// wall-clock and averaged peak residency are reported as metrics;
+// scripts/bench.sh archives them in BENCH_pr4.json.
+func BenchmarkExecuteStreaming(b *testing.B) {
+	base := crumbcruncher.SmallConfig()
+	base.Walks = 120
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallelism-%d", par), func(b *testing.B) {
+			one := func(batchMode bool) (elapsedNS, peakMB float64) {
+				cfg := base
+				cfg.Parallelism = par
+				cfg.BatchAnalysis = batchMode
+				runtime.GC()
+				w := newHeapWatermark()
+				start := time.Now()
+				if _, err := crumbcruncher.NewRunner(cfg).Run(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				return float64(time.Since(start).Nanoseconds()), w.stop()
+			}
+			var streamNS, batchNS, streamPeak, batchPeak float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ns, pk := one(false)
+				streamNS += ns
+				streamPeak += pk
+				ns, pk = one(true)
+				batchNS += ns
+				batchPeak += pk
+			}
+			b.StopTimer()
+			n := float64(b.N)
+			b.ReportMetric(streamNS/n/1e6, "stream-ms")
+			b.ReportMetric(batchNS/n/1e6, "batch-ms")
+			b.ReportMetric(streamPeak/n, "stream-peak-heap-MB")
+			b.ReportMetric(batchPeak/n, "batch-peak-heap-MB")
+		})
+	}
+}
+
+// heapWatermark periodically forces a collection and samples the heap
+// that survives it, keeping the high-water mark: peak *live* residency,
+// not the GC sawtooth's amplitude (raw HeapAlloc peaks measure mostly
+// collector pacing and flip sign between identical runs). The forced
+// collections cost a few percent of wall-clock, paid equally by every
+// variant under comparison.
+type heapWatermark struct {
+	done chan struct{}
+	out  chan float64
+}
+
+func newHeapWatermark() *heapWatermark {
+	w := &heapWatermark{done: make(chan struct{}), out: make(chan float64, 1)}
+	go func() {
+		var peak uint64
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-w.done:
+				w.out <- float64(peak) / (1 << 20)
+				return
+			case <-tick.C:
+				runtime.GC()
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return w
+}
+
+func (w *heapWatermark) stop() float64 {
+	close(w.done)
+	return <-w.out
 }
 
 // --- Parallel post-crawl analysis --------------------------------------------

@@ -5,10 +5,11 @@
 // Usage:
 //
 //	crumbcruncher [-seed N] [-sites N] [-walks N] [-steps N] [-parallel N]
-//	              [-machines N] [-small] [-save crawl.json] [-out report.txt]
-//	              [-trace trace.jsonl] [-progress] [-pprof localhost:6060]
-//	              [-retries N] [-breaker N] [-deadline D] [-resume ckpt.jsonl]
-//	              [-connect-fail R] [-transient-fail R] [-degrade R] [-spike R]
+//	              [-machines N] [-small] [-batch] [-save crawl.json]
+//	              [-out report.txt] [-trace trace.jsonl] [-progress]
+//	              [-pprof localhost:6060] [-retries N] [-breaker N]
+//	              [-deadline D] [-resume ckpt.jsonl] [-connect-fail R]
+//	              [-transient-fail R] [-degrade R] [-spike R]
 //
 // An interrupted run (Ctrl-C) drains gracefully; with -resume it can be
 // continued later from the same checkpoint file.
@@ -25,6 +26,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"time"
 
 	"crumbcruncher"
@@ -42,6 +44,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "worker-pool size for the crawl and the post-crawl analysis (0: config default)")
 		machines  = flag.Int("machines", 0, "simulated crawl machines walks are spread across (0: config default)")
 		small     = flag.Bool("small", false, "use the small demo configuration")
+		batch     = flag.Bool("batch", false, "run analysis as a separate batch phase after the crawl instead of streaming")
 		savePath  = flag.String("save", "", "save the crawl dataset to this JSON file")
 		outPath   = flag.String("out", "", "write the report here instead of stdout")
 		metrics   = flag.Bool("metrics", false, "emit machine-readable JSON metrics instead of the text report")
@@ -80,9 +83,12 @@ func main() {
 	if *machines > 0 {
 		cfg.Machines = *machines
 	}
+	cfg.BatchAnalysis = *batch
+	var opts []crumbcruncher.Option
 	if *retries > 0 {
-		cfg.Retry = crumbcruncher.DefaultRetryPolicy()
-		cfg.Retry.MaxAttempts = *retries
+		rp := crumbcruncher.DefaultRetryPolicy()
+		rp.MaxAttempts = *retries
+		opts = append(opts, crumbcruncher.WithRetryPolicy(rp))
 	}
 	if *breaker > 0 {
 		cfg.Breaker.Threshold = *breaker
@@ -107,7 +113,7 @@ func main() {
 		if n := ckpt.CompletedCount(); n > 0 {
 			fmt.Fprintf(os.Stderr, "resuming: %d walks already completed in %s\n", n, *resume)
 		}
-		cfg.Checkpoint = ckpt
+		opts = append(opts, crumbcruncher.WithCheckpoint(ckpt))
 	}
 
 	// Telemetry is observation-only: results are identical with it on or
@@ -115,7 +121,7 @@ func main() {
 	var tel *crumbcruncher.Telemetry
 	if *traceOut != "" || *progress {
 		tel = crumbcruncher.NewTelemetry()
-		cfg.Telemetry = tel
+		opts = append(opts, crumbcruncher.WithTelemetry(tel))
 	}
 	if *pprofAddr != "" {
 		go func() {
@@ -131,10 +137,13 @@ func main() {
 		cfg.Walks, cfg.World.NumSites, cfg.World.Seed)
 	stopProgress := func() {}
 	if *progress {
-		stopProgress = reportProgress(tel)
+		var latest atomic.Value
+		latest.Store(crumbcruncher.Progress{})
+		opts = append(opts, crumbcruncher.WithProgress(func(p crumbcruncher.Progress) { latest.Store(p) }))
+		stopProgress = reportProgress(tel, &latest)
 	}
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
-	run, err := crumbcruncher.ExecuteContext(ctx, cfg)
+	run, err := crumbcruncher.NewRunner(cfg, opts...).Run(ctx)
 	stopSignals()
 	stopProgress()
 	if errors.Is(err, context.Canceled) {
@@ -185,9 +194,9 @@ func main() {
 }
 
 // reportProgress prints crawl progress to stderr once a second until the
-// returned stop function is called. It reads only telemetry instruments,
-// so it never perturbs the crawl.
-func reportProgress(tel *crumbcruncher.Telemetry) (stop func()) {
+// returned stop function is called. It reads only the runner's Progress
+// snapshots and telemetry instruments, so it never perturbs the crawl.
+func reportProgress(tel *crumbcruncher.Telemetry, latest *atomic.Value) (stop func()) {
 	done := make(chan struct{})
 	finished := make(chan struct{})
 	go func() {
@@ -199,12 +208,11 @@ func reportProgress(tel *crumbcruncher.Telemetry) (stop func()) {
 			case <-done:
 				return
 			case <-tick.C:
-				walksDone := tel.Counter("crawler.walks_done").Value()
-				walksTotal := tel.Gauge("crawler.walks_total").Value()
+				p := latest.Load().(crumbcruncher.Progress)
 				reqs := tel.Counter("netsim.requests").Value()
 				fails := tel.Counter("netsim.failures").Value()
-				fmt.Fprintf(os.Stderr, "progress: %d/%d walks, %d requests (%d failed)\n",
-					walksDone, walksTotal, reqs, fails)
+				fmt.Fprintf(os.Stderr, "progress: %d/%d walks crawled, %d analyzed (queue %d), %d requests (%d failed)\n",
+					p.WalksDone, p.WalksTotal, p.WalksAnalyzed, p.QueueDepth, reqs, fails)
 			}
 		}
 	}()

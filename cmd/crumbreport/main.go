@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
@@ -45,7 +46,7 @@ func main() {
 	if *par > 0 && *par != run.Config.Parallelism {
 		cfg := run.Config
 		cfg.Parallelism = *par
-		if run, err = crumbcruncher.Reanalyze(cfg, run); err != nil {
+		if run, err = crumbcruncher.ReanalyzeContext(context.Background(), cfg, run); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -5,11 +5,17 @@
 // synthetic-web substrate it runs on (virtual network, simulated browser
 // with partitioned storage, generated tracker ecosystem).
 //
-// The one-call entry point runs the entire study:
+// The Runner is the entry point; a one-call run of the entire study:
 //
-//	run, err := crumbcruncher.Execute(crumbcruncher.DefaultConfig())
+//	run, err := crumbcruncher.NewRunner(crumbcruncher.DefaultConfig()).Run(context.Background())
 //	if err != nil { ... }
 //	crumbcruncher.WriteReport(os.Stdout, run)
+//
+// Options wire in the cross-cutting concerns — WithTelemetry,
+// WithRetryPolicy, WithCheckpoint, WithProgress — without touching the
+// Config literal. By default execution streams: finished walks flow
+// through token extraction and UID classification while the crawl is
+// still running (see DESIGN.md §8).
 //
 // Results carry every table and figure from the paper's evaluation:
 // run.Analysis exposes Table 2's summary, Table 3's redirector ranking,
@@ -20,7 +26,6 @@ package crumbcruncher
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -31,6 +36,7 @@ import (
 	"crumbcruncher/internal/crawler"
 	"crumbcruncher/internal/report"
 	"crumbcruncher/internal/resilience"
+	"crumbcruncher/internal/runio"
 	"crumbcruncher/internal/telemetry"
 	"crumbcruncher/internal/uid"
 	"crumbcruncher/internal/web"
@@ -69,16 +75,93 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // SmallConfig returns a fast configuration for demos and tests.
 func SmallConfig() Config { return core.SmallConfig() }
 
+// Progress is a snapshot of a run's advancement, delivered to the
+// WithProgress callback as walks complete and get analysed.
+type Progress = core.Progress
+
+// Option customizes a Runner at construction without the caller
+// mutating a Config literal.
+type Option func(*Config)
+
+// WithTelemetry attaches an observability handle to the run.
+func WithTelemetry(t *Telemetry) Option {
+	return func(c *Config) { c.Telemetry = t }
+}
+
+// WithRetryPolicy sets the crawl's navigation retry policy.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *Config) { c.Retry = p }
+}
+
+// WithCheckpoint attaches a checkpoint so an interrupted run resumes
+// without redoing finished walks (or, under the default streaming
+// engine, re-analysing them).
+func WithCheckpoint(cp *Checkpoint) Option {
+	return func(c *Config) { c.Checkpoint = cp }
+}
+
+// WithProgress registers a callback invoked with a Progress snapshot as
+// walks complete and get analysed. Called from pipeline goroutines
+// (serialized); keep it fast.
+func WithProgress(fn func(Progress)) Option {
+	return func(c *Config) { c.OnProgress = fn }
+}
+
+// Runner is the consolidated entry point: a configured pipeline that
+// can execute the full study (Run) or re-run the post-crawl analysis
+// over an existing dataset (Reanalyze).
+type Runner struct {
+	cfg Config
+}
+
+// NewRunner builds a Runner from a base configuration and options.
+// The Config is copied; later mutations of the caller's value do not
+// affect the Runner.
+func NewRunner(cfg Config, opts ...Option) *Runner {
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Runner{cfg: cfg}
+}
+
+// Config returns the Runner's effective configuration (options applied).
+func (r *Runner) Config() Config { return r.cfg }
+
+// Run builds the synthetic web, runs the four-crawler crawl and the
+// token pipeline, and returns the analysed run. When ctx is cancelled
+// the crawl drains gracefully — in-flight walks finish, unstarted walks
+// are recorded as skipped — and ctx's error is returned. Pair with
+// WithCheckpoint to resume later.
+//
+// By default the analysis streams alongside the crawl; set
+// Config.BatchAnalysis to run the two phases sequentially instead.
+// Both modes produce bit-identical results.
+func (r *Runner) Run(ctx context.Context) (*Run, error) {
+	return core.ExecuteContext(ctx, r.cfg)
+}
+
+// Reanalyze re-runs the post-crawl pipeline over run's recorded dataset
+// under the Runner's configuration. The crawl is not repeated.
+func (r *Runner) Reanalyze(ctx context.Context, run *Run) (*Run, error) {
+	return core.AnalyzeContext(ctx, r.cfg, run.World, run.Dataset)
+}
+
 // Execute builds the synthetic web, runs the four-crawler crawl and the
 // token pipeline, and returns the analysed run.
-func Execute(cfg Config) (*Run, error) { return core.Execute(cfg) }
+//
+// Deprecated: use NewRunner(cfg).Run(context.Background()). Execute
+// remains as a thin wrapper and will keep working.
+func Execute(cfg Config) (*Run, error) { return NewRunner(cfg).Run(context.Background()) }
 
 // ExecuteContext is Execute with cancellation: when ctx is cancelled the
 // crawl drains gracefully — in-flight walks finish, unstarted walks are
-// recorded as skipped — and the partial run is analysed and returned
-// alongside ctx's error. Pair with Config.Checkpoint to resume later.
+// recorded as skipped — and ctx's error is returned. Pair with
+// Config.Checkpoint to resume later.
+//
+// Deprecated: use NewRunner(cfg).Run(ctx). ExecuteContext remains as a
+// thin wrapper and will keep working.
 func ExecuteContext(ctx context.Context, cfg Config) (*Run, error) {
-	return core.ExecuteContext(ctx, cfg)
+	return NewRunner(cfg).Run(ctx)
 }
 
 // --- Resilience -------------------------------------------------------------
@@ -114,7 +197,14 @@ func OpenCheckpoint(path string, seed int64) (*Checkpoint, error) {
 // e.g. a different Parallelism or identification options. The crawl is
 // not repeated; results are bit-identical for any Parallelism.
 func Reanalyze(cfg Config, r *Run) (*Run, error) {
-	return core.Analyze(cfg, r.World, r.Dataset)
+	return ReanalyzeContext(context.Background(), cfg, r)
+}
+
+// ReanalyzeContext is Reanalyze bounded by ctx: cancellation stops
+// every analysis stage's shard pool from taking new work and returns
+// ctx's error.
+func ReanalyzeContext(ctx context.Context, cfg Config, r *Run) (*Run, error) {
+	return core.AnalyzeContext(ctx, cfg, r.World, r.Dataset)
 }
 
 // WriteReport renders the full evaluation report — every table and figure
@@ -148,44 +238,77 @@ func WriteTrace(path string, t *Telemetry) error {
 	return t.Tracer().WriteJSONLFile(path)
 }
 
-// SavedRun is the on-disk form of a crawl: the configuration (to rebuild
-// the deterministic world), the recorded dataset, and a provenance block
-// describing how and by what the file was produced.
+// RunFormat and RunVersion identify the saved-run document format. The
+// versioned header is shared with the checkpoint and analysis-state
+// files through the internal runio codec; pre-header files (written
+// before this versioning existed) still load.
+const (
+	RunFormat  = runio.RunFormat
+	RunVersion = runio.RunVersion
+)
+
+// SavedRun is the on-disk form of a crawl: a versioned format header,
+// the configuration (to rebuild the deterministic world), the recorded
+// dataset, and a provenance block describing how and by what the file
+// was produced.
 type SavedRun struct {
+	runio.Header
 	Config     Config      `json:"config"`
 	Provenance *Provenance `json:"provenance,omitempty"`
 	Dataset    *Dataset    `json:"dataset"`
 }
 
+// EncodeRun writes a run's crawl as a versioned JSON document. When the
+// run was executed with telemetry attached, the provenance block
+// includes its metrics snapshot.
+func EncodeRun(w io.Writer, r *Run) error {
+	prov := telemetry.NewProvenance(r.Config.World.Seed, r.Config, r.Config.Telemetry)
+	doc := SavedRun{
+		Header:     runio.Header{Format: RunFormat, Version: RunVersion, Seed: r.Config.World.Seed},
+		Config:     r.Config,
+		Provenance: &prov,
+		Dataset:    r.Dataset,
+	}
+	if err := runio.WriteDocument(w, doc); err != nil {
+		return fmt.Errorf("crumbcruncher: encode run: %w", err)
+	}
+	return nil
+}
+
+// DecodeRun reads a saved crawl from rd and re-runs the analysis
+// pipeline over it. The synthetic world is rebuilt deterministically
+// from the saved configuration. Documents from before the versioned
+// header are accepted.
+func DecodeRun(rd io.Reader) (*Run, error) {
+	var saved SavedRun
+	want := runio.Header{Format: RunFormat, Version: RunVersion}
+	if err := runio.ReadDocument(rd, want, &saved); err != nil {
+		return nil, fmt.Errorf("crumbcruncher: decode run: %w", err)
+	}
+	world := web.BuildWorld(saved.Config.World)
+	return core.Analyze(saved.Config, world, saved.Dataset)
+}
+
 // SaveRun writes a run's crawl to a JSON file for later re-analysis with
-// cmd/crumbreport. When the run was executed with telemetry attached,
-// the provenance block includes its metrics snapshot.
+// cmd/crumbreport. See EncodeRun for the document format.
 func SaveRun(path string, r *Run) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("crumbcruncher: save run: %w", err)
 	}
 	defer f.Close()
-	prov := telemetry.NewProvenance(r.Config.World.Seed, r.Config, r.Config.Telemetry)
-	enc := json.NewEncoder(f)
-	return enc.Encode(SavedRun{Config: r.Config, Provenance: &prov, Dataset: r.Dataset})
+	return EncodeRun(f, r)
 }
 
-// LoadRun reads a saved crawl and re-runs the analysis pipeline over it.
-// The synthetic world is rebuilt deterministically from the saved
-// configuration.
+// LoadRun reads a saved crawl file and re-runs the analysis pipeline
+// over it. See DecodeRun.
 func LoadRun(path string) (*Run, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("crumbcruncher: load run: %w", err)
 	}
 	defer f.Close()
-	var saved SavedRun
-	if err := json.NewDecoder(f).Decode(&saved); err != nil {
-		return nil, fmt.Errorf("crumbcruncher: decode run: %w", err)
-	}
-	world := web.BuildWorld(saved.Config.World)
-	return core.Analyze(saved.Config, world, saved.Dataset)
+	return DecodeRun(f)
 }
 
 // --- Countermeasures (§7) ---------------------------------------------------

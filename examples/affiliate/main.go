@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -21,7 +22,7 @@ func main() {
 	cfg := crumbcruncher.SmallConfig()
 	cfg.Walks = 80
 
-	run, err := crumbcruncher.Execute(cfg)
+	run, err := crumbcruncher.NewRunner(cfg).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,7 +15,7 @@ func main() {
 	cfg := crumbcruncher.SmallConfig()
 	cfg.Walks = 60
 
-	run, err := crumbcruncher.Execute(cfg)
+	run, err := crumbcruncher.NewRunner(cfg).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package analysis
 
 import (
+	"context"
 	"sort"
 
 	"crumbcruncher/internal/crawler"
@@ -89,6 +90,14 @@ func NewParallel(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Case, p
 // and index sizes in analysis.* counters. A nil Telemetry records
 // nothing and skips per-shard timing entirely.
 func NewInstrumented(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Case, parallelism int, tel *telemetry.Telemetry) *Analysis {
+	a, _ := NewContext(context.Background(), ds, paths, cases, parallelism, tel)
+	return a
+}
+
+// NewContext is NewInstrumented bounded by ctx: cancellation stops the
+// aggregation pools from taking new chunks and returns ctx's error with
+// a nil Analysis.
+func NewContext(ctx context.Context, ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Case, parallelism int, tel *telemetry.Telemetry) (*Analysis, error) {
 	reg := tel.Registry()
 	a := &Analysis{
 		ds:             ds,
@@ -111,7 +120,7 @@ func NewInstrumented(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Cas
 	// Map: aggregate unique URL paths per contiguous chunk.
 	chunks := parallel.Chunks(len(paths), parallelism)
 	pathParts := make([]*pathPartial, len(chunks))
-	parallel.ForEachTimed(len(chunks), parallelism, func(ci int) {
+	err := parallel.ForEachTimedCtx(ctx, len(chunks), parallelism, func(ci int) {
 		ch := chunks[ci]
 		part := &pathPartial{aggs: map[string]*pathAgg{}, endFQDNs: map[string]bool{}}
 		for _, p := range paths[ch.Lo:ch.Hi] {
@@ -131,6 +140,9 @@ func NewInstrumented(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Cas
 		}
 		pathParts[ci] = part
 	}, reg.Histogram("analysis.path_shard_us").Microseconds())
+	if err != nil {
+		return nil, err
+	}
 	// Reduce in chunk order: the first chunk to see a key contributes
 	// its representative; later chunks only fold in their counts.
 	for _, part := range pathParts {
@@ -161,7 +173,7 @@ func NewInstrumented(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Cas
 	}
 	rchunks := parallel.Chunks(len(smuggling), parallelism)
 	redirParts := make([]*redirPartial, len(rchunks))
-	parallel.ForEachTimed(len(rchunks), parallelism, func(ci int) {
+	err = parallel.ForEachTimedCtx(ctx, len(rchunks), parallelism, func(ci int) {
 		ch := rchunks[ci]
 		part := &redirPartial{aggs: map[string]*redirectorAgg{}}
 		for _, p := range smuggling[ch.Lo:ch.Hi] {
@@ -183,6 +195,9 @@ func NewInstrumented(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Cas
 		}
 		redirParts[ci] = part
 	}, reg.Histogram("analysis.redirector_shard_us").Microseconds())
+	if err != nil {
+		return nil, err
+	}
 	for _, part := range redirParts {
 		for _, host := range part.order {
 			pagg := part.aggs[host]
@@ -214,7 +229,7 @@ func NewInstrumented(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Cas
 	reg.Counter("analysis.unique_url_paths").Add(int64(len(a.urlPaths)))
 	reg.Counter("analysis.smuggling_paths").Add(int64(len(a.smugglingPaths)))
 	reg.Counter("analysis.redirectors").Add(int64(len(a.redirectors)))
-	return a
+	return a, nil
 }
 
 // Cases returns the confirmed UID cases.

@@ -65,10 +65,23 @@ type Config struct {
 	// RequestDeadline, when > 0, makes the virtual network time out any
 	// request whose latency (including injected spikes) would exceed it.
 	RequestDeadline time.Duration `json:"request_deadline,omitempty"`
+	// BatchAnalysis restores the pre-streaming two-phase execution:
+	// crawl the complete dataset first, then run the post-crawl stages
+	// over it. The default (false) streams each walk through token
+	// extraction and UID grouping as it finishes; both modes produce
+	// bit-identical results (see TestStreamingMatchesBatch), so this is
+	// a scheduling knob, not a semantic one.
+	BatchAnalysis bool `json:"batch_analysis,omitempty"`
 	// Checkpoint, when non-nil, records completed walks incrementally
 	// and resumes an interrupted crawl without redoing finished walks.
-	// Runtime wiring, not configuration.
+	// Under the streaming engine the per-walk analysis state is
+	// persisted alongside it (in "<path>.analysis"), so resumed walks
+	// skip re-analysis too. Runtime wiring, not configuration.
 	Checkpoint *crawler.Checkpoint `json:"-"`
+	// OnProgress, when non-nil, receives a progress snapshot every time
+	// a walk completes or is analyzed. Called from crawl and analysis
+	// goroutines (serialized internally); keep it fast. Runtime wiring.
+	OnProgress func(Progress) `json:"-"`
 	// Telemetry, when non-nil, observes the whole pipeline: spans and
 	// metrics from the network simulator, browsers, crawler and every
 	// analysis stage. It is runtime wiring, not configuration (not
@@ -119,6 +132,12 @@ func Execute(cfg Config) (*Run, error) {
 // drains in-flight walks gracefully (recording them to the checkpoint,
 // when one is attached) and returns ctx's error; the analysis stages are
 // skipped for interrupted crawls.
+//
+// By default execution streams: completed walks flow straight into
+// token extraction and UID grouping while the crawl is still running,
+// and only the final merge waits for the last walk. Set
+// Config.BatchAnalysis to run the crawl and the analysis as two
+// sequential phases instead; results are bit-identical either way.
 func ExecuteContext(ctx context.Context, cfg Config) (*Run, error) {
 	sp := cfg.Telemetry.StartSpan("core", "build_world")
 	world := web.BuildWorld(cfg.World)
@@ -129,14 +148,38 @@ func ExecuteContext(ctx context.Context, cfg Config) (*Run, error) {
 	if cfg.RequestDeadline > 0 {
 		world.Network().SetRequestDeadline(cfg.RequestDeadline)
 	}
+	if !cfg.BatchAnalysis {
+		return executeStreaming(ctx, cfg, world)
+	}
+	notify := newProgressNotifier(cfg.OnProgress, cfg.walkCount(world))
+	ccfg := cfg.crawlConfig(world)
+	if cfg.OnProgress != nil {
+		ccfg.WalkSink = func(*crawler.Walk) {
+			notify.update(func(p *Progress) { p.WalksDone++ })
+		}
+	}
 	csp := cfg.Telemetry.StartSpan("core", "crawl")
-	ds, err := crawler.CrawlContext(ctx, cfg.crawlConfig(world))
+	ds, err := crawler.CrawlContext(ctx, ccfg)
 	if err != nil {
 		csp.EndErr(err)
 		return nil, fmt.Errorf("core: crawl: %w", err)
 	}
 	csp.End()
-	return Analyze(cfg, world, ds)
+	r, err := AnalyzeContext(ctx, cfg, world, ds)
+	if err != nil {
+		return nil, err
+	}
+	notify.update(func(p *Progress) { p.WalksAnalyzed = len(ds.Walks) })
+	return r, nil
+}
+
+// walkCount resolves the effective number of walks (0 means one per
+// seeder, mirroring the crawler's default).
+func (cfg Config) walkCount(world *web.World) int {
+	if cfg.Walks > 0 {
+		return cfg.Walks
+	}
+	return len(world.Seeders())
 }
 
 // crawlConfig translates the run configuration into the crawler's: every
@@ -166,15 +209,29 @@ func (cfg Config) crawlConfig(world *web.World) crawler.Config {
 // cfg.Parallelism workers with deterministic merging, so the output is
 // bit-identical to a sequential pass.
 func Analyze(cfg Config, world *web.World, ds *crawler.Dataset) (*Run, error) {
+	return AnalyzeContext(context.Background(), cfg, world, ds)
+}
+
+// AnalyzeContext is Analyze bounded by ctx: cancellation stops every
+// stage's shard pool from taking new work and returns ctx's error.
+func AnalyzeContext(ctx context.Context, cfg Config, world *web.World, ds *crawler.Dataset) (*Run, error) {
 	tel := cfg.Telemetry
 	par := cfg.analysisParallelism()
 
 	sp := tel.StartSpan("analysis", "paths")
-	paths := tokens.PathsFromDatasetInstrumented(ds, par, tel)
+	paths, err := tokens.PathsFromDatasetCtx(ctx, ds, par, tel)
+	if err != nil {
+		sp.EndErr(err)
+		return nil, fmt.Errorf("core: paths: %w", err)
+	}
 	sp.End()
 
 	sp = tel.StartSpan("analysis", "candidates")
-	cands := tokens.AllCandidatesInstrumented(paths, par, tel)
+	cands, err := tokens.AllCandidatesCtx(ctx, paths, par, tel)
+	if err != nil {
+		sp.EndErr(err)
+		return nil, fmt.Errorf("core: candidates: %w", err)
+	}
 	sp.End()
 
 	sp = tel.StartSpan("analysis", "lifetimes")
@@ -192,11 +249,19 @@ func Analyze(cfg Config, world *web.World, ds *crawler.Dataset) (*Run, error) {
 		opt.Telemetry = tel
 	}
 	sp = tel.StartSpan("analysis", "identify")
-	cases, stats := uid.Identify(cands, opt)
+	cases, stats, err := uid.IdentifyCtx(ctx, cands, opt)
+	if err != nil {
+		sp.EndErr(err)
+		return nil, fmt.Errorf("core: identify: %w", err)
+	}
 	sp.End()
 
 	sp = tel.StartSpan("analysis", "aggregate")
-	agg := analysis.NewInstrumented(ds, paths, cases, par, tel)
+	agg, err := analysis.NewContext(ctx, ds, paths, cases, par, tel)
+	if err != nil {
+		sp.EndErr(err)
+		return nil, fmt.Errorf("core: aggregate: %w", err)
+	}
 	sp.End()
 
 	return &Run{

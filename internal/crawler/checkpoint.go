@@ -1,24 +1,23 @@
 package crawler
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
-	"io"
-	"os"
+	"sort"
 	"sync"
 	"time"
+
+	"crumbcruncher/internal/runio"
 )
 
 // checkpointVersion is bumped when the on-disk format changes.
 const checkpointVersion = 1
 
-// checkpointHeader is the first line of a checkpoint file. The seed is
-// validated on resume: a checkpoint only makes sense against the exact
-// deterministic world it was recorded in.
-type checkpointHeader struct {
-	Version int   `json:"version"`
-	Seed    int64 `json:"seed"`
+// checkpointHeader is the runio header a checkpoint file opens with.
+// The seed is validated on resume: a checkpoint only makes sense
+// against the exact deterministic world it was recorded in.
+func checkpointHeader(seed int64) runio.Header {
+	return runio.Header{Format: runio.CheckpointFormat, Version: checkpointVersion, Seed: seed}
 }
 
 // checkpointEntry is one completed walk: its index, the virtual instant
@@ -37,8 +36,7 @@ type checkpointEntry struct {
 // resumes without redoing finished walks. Safe for concurrent use.
 type Checkpoint struct {
 	mu       sync.Mutex
-	f        *os.File
-	enc      *json.Encoder
+	lf       *runio.LineFile
 	done     map[int]*Walk
 	maxClock time.Time
 }
@@ -48,65 +46,31 @@ type Checkpoint struct {
 // its recorded walks become available via Completed. A truncated final
 // line (interrupted mid-write) is tolerated and ignored.
 func OpenCheckpoint(path string, seed int64) (*Checkpoint, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	lf, lines, err := runio.OpenLineFile(path, checkpointHeader(seed))
 	if err != nil {
-		return nil, fmt.Errorf("crawler: open checkpoint: %w", err)
+		return nil, fmt.Errorf("crawler: checkpoint: %w", err)
 	}
-	cp := &Checkpoint{f: f, done: make(map[int]*Walk)}
-
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<26) // walks serialize large
-	if sc.Scan() {
-		var hdr checkpointHeader
-		if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("crawler: checkpoint %s: bad header: %w", path, err)
+	cp := &Checkpoint{lf: lf, done: make(map[int]*Walk)}
+	for _, line := range lines {
+		var e checkpointEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			break // schema mismatch in the tail: stop, like a torn write
 		}
-		if hdr.Version != checkpointVersion {
-			f.Close()
-			return nil, fmt.Errorf("crawler: checkpoint %s: version %d, want %d", path, hdr.Version, checkpointVersion)
-		}
-		if hdr.Seed != seed {
-			f.Close()
-			return nil, fmt.Errorf("crawler: checkpoint %s: recorded for seed %d, crawl uses seed %d", path, hdr.Seed, seed)
-		}
-		for sc.Scan() {
-			var e checkpointEntry
-			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-				break // interrupted mid-write: drop the partial tail
-			}
-			cp.done[e.Index] = e.Walk
-			if e.Clock.After(cp.maxClock) {
-				cp.maxClock = e.Clock
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("crawler: checkpoint %s: %w", path, err)
-	}
-
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("crawler: checkpoint %s: %w", path, err)
-	}
-	cp.enc = json.NewEncoder(f)
-	if len(cp.done) == 0 {
-		// Fresh (or header-only) file: (re)write the header.
-		if err := f.Truncate(0); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("crawler: checkpoint %s: %w", path, err)
-		}
-		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("crawler: checkpoint %s: %w", path, err)
-		}
-		if err := cp.enc.Encode(checkpointHeader{Version: checkpointVersion, Seed: seed}); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("crawler: checkpoint %s: %w", path, err)
+		cp.done[e.Index] = e.Walk
+		if e.Clock.After(cp.maxClock) {
+			cp.maxClock = e.Clock
 		}
 	}
 	return cp, nil
+}
+
+// Path returns the checkpoint file's path ("" on a nil checkpoint).
+// The streaming engine derives its analysis-state sidecar path from it.
+func (cp *Checkpoint) Path() string {
+	if cp == nil {
+		return ""
+	}
+	return cp.lf.Path()
 }
 
 // Completed returns the recorded walk for index, or nil if the walk has
@@ -128,6 +92,23 @@ func (cp *Checkpoint) CompletedCount() int {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	return len(cp.done)
+}
+
+// CompletedIndices returns the recorded walk indices, sorted. Taken
+// before a crawl starts it identifies exactly the walks that will be
+// resumed rather than re-crawled.
+func (cp *Checkpoint) CompletedIndices() []int {
+	if cp == nil {
+		return nil
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	out := make([]int, 0, len(cp.done))
+	for i := range cp.done {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // MaxClock returns the latest virtual instant any recorded walk reached
@@ -152,7 +133,7 @@ func (cp *Checkpoint) Record(index int, clock time.Time, w *Walk) error {
 	if _, ok := cp.done[index]; ok {
 		return nil
 	}
-	if err := cp.enc.Encode(checkpointEntry{Index: index, Clock: clock, Walk: w}); err != nil {
+	if err := cp.lf.Append(checkpointEntry{Index: index, Clock: clock, Walk: w}); err != nil {
 		return fmt.Errorf("crawler: checkpoint record walk %d: %w", index, err)
 	}
 	cp.done[index] = w
@@ -169,13 +150,5 @@ func (cp *Checkpoint) Close() error {
 	}
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
-	if cp.f == nil {
-		return nil
-	}
-	err := cp.f.Sync()
-	if cerr := cp.f.Close(); err == nil {
-		err = cerr
-	}
-	cp.f = nil
-	return err
+	return cp.lf.Close()
 }

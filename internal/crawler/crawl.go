@@ -88,6 +88,14 @@ type Config struct {
 	// OnWalkComplete, when non-nil, is invoked after each walk is
 	// recorded (tests use it to cancel crawls at precise points).
 	OnWalkComplete func(*Walk) `json:"-"`
+	// WalkSink, when non-nil, receives every walk the crawl produces —
+	// freshly completed, restored from the checkpoint, and skipped alike
+	// — as soon as it enters the dataset, instead of the caller waiting
+	// for the monolithic dataset. Completed walks are delivered from
+	// their walk goroutines after checkpointing and OnWalkComplete; the
+	// call may block, which is how the streaming engine's bounded
+	// channel applies backpressure to the crawl. Runtime wiring.
+	WalkSink func(*Walk) `json:"-"`
 }
 
 // withDefaults fills zero values.
@@ -233,6 +241,9 @@ func CrawlContext(ctx context.Context, cfg Config) (*Dataset, error) {
 			ds.Walks[i] = w
 			cm.walksResumed.Inc()
 			cm.walksDone.Inc()
+			if cfg.WalkSink != nil {
+				cfg.WalkSink(w)
+			}
 			continue
 		}
 		stop := ctx.Err() != nil
@@ -244,8 +255,12 @@ func CrawlContext(ctx context.Context, cfg Config) (*Dataset, error) {
 			}
 		}
 		if stop {
-			ds.Walks[i] = &Walk{Index: i, Seeder: seeder, Skipped: true}
+			w := &Walk{Index: i, Seeder: seeder, Skipped: true}
+			ds.Walks[i] = w
 			cm.walksSkipped.Inc()
+			if cfg.WalkSink != nil {
+				cfg.WalkSink(w)
+			}
 			continue
 		}
 		wg.Add(1)
@@ -270,6 +285,9 @@ func CrawlContext(ctx context.Context, cfg Config) (*Dataset, error) {
 			}
 			if cfg.OnWalkComplete != nil {
 				cfg.OnWalkComplete(w)
+			}
+			if cfg.WalkSink != nil {
+				cfg.WalkSink(w)
 			}
 		}(i, seeder)
 	}

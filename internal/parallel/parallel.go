@@ -7,6 +7,7 @@
 package parallel
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +56,62 @@ func ForEach(n, p int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForEachCtx is ForEach bounded by ctx: once ctx is cancelled the pool
+// stops handing out new items (in-flight items finish) and ctx's error
+// is returned. A completed run returns nil and is bit-identical to
+// ForEach; a context that can never be cancelled adds no per-item cost.
+// Callers must treat any non-nil error as "slots are partially filled"
+// and abandon the reduce.
+func ForEachCtx(ctx context.Context, n, p int, fn func(i int)) error {
+	if ctx == nil || ctx.Done() == nil {
+		ForEach(n, p, fn)
+		return nil
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	p = Workers(p, n)
+	if p == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// ForEachTimedCtx is ForEachCtx with the per-item duration hook of
+// ForEachTimed.
+func ForEachTimedCtx(ctx context.Context, n, p int, fn func(i int), observe func(d time.Duration)) error {
+	if observe == nil {
+		return ForEachCtx(ctx, n, p, fn)
+	}
+	return ForEachCtx(ctx, n, p, func(i int) {
+		start := time.Now()
+		fn(i)
+		observe(time.Since(start))
+	})
 }
 
 // ForEachTimed is ForEach with a per-item wall-duration hook: observe is

@@ -1,0 +1,202 @@
+// Package runio is the shared on-disk codec for every artifact
+// CrumbCruncher persists: saved runs (single JSON documents), walk
+// checkpoints and streaming analysis sidecars (append-only JSONL line
+// files). All artifacts open with the same versioned Header, so format,
+// version and seed validation live in exactly one place. The package
+// depends only on the standard library; any layer — including the
+// crawler — may import it without creating cycles.
+package runio
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Artifact format identifiers.
+const (
+	// RunFormat is a saved crawl (SaveRun / EncodeRun).
+	RunFormat = "crumbcruncher/run"
+	// CheckpointFormat is an incremental walk checkpoint.
+	CheckpointFormat = "crumbcruncher/checkpoint"
+	// AnalysisFormat is the streaming engine's per-walk analysis-state
+	// sidecar, persisted next to the walk checkpoint.
+	AnalysisFormat = "crumbcruncher/analysis-state"
+)
+
+// RunVersion is bumped when the saved-run document layout changes.
+const RunVersion = 1
+
+// Header is the versioned identity every persisted artifact starts
+// with: the first line of a line file, or top-level fields of a JSON
+// document. The seed ties an artifact to the exact deterministic world
+// it was recorded in.
+type Header struct {
+	Format  string `json:"format,omitempty"`
+	Version int    `json:"version"`
+	Seed    int64  `json:"seed"`
+}
+
+// legacy reports whether h predates versioned headers entirely (a file
+// written before this package existed: no format, no version).
+func (h Header) legacy() bool { return h.Format == "" && h.Version == 0 }
+
+// Check validates h against the expected header. Artifacts written
+// before the format field existed (empty Format) are tolerated, as are
+// fully pre-versioning documents (no header fields at all). A zero
+// want.Seed skips the seed comparison — used when the seed is not known
+// until the document is decoded.
+func (h Header) Check(want Header) error {
+	if h.legacy() {
+		return nil
+	}
+	if h.Format != "" && h.Format != want.Format {
+		return fmt.Errorf("runio: format %q, want %q", h.Format, want.Format)
+	}
+	if h.Version != want.Version {
+		return fmt.Errorf("runio: %s version %d, want %d", want.Format, h.Version, want.Version)
+	}
+	if want.Seed != 0 && h.Seed != want.Seed {
+		return fmt.Errorf("runio: %s recorded for seed %d, want seed %d", want.Format, h.Seed, want.Seed)
+	}
+	return nil
+}
+
+// WriteDocument writes v as a single JSON document. v is expected to
+// carry (embed) a Header so ReadDocument can validate it later.
+func WriteDocument(w io.Writer, v any) error {
+	return json.NewEncoder(w).Encode(v)
+}
+
+// ReadDocument reads one whole JSON document from r, validates its
+// top-level header fields against want, and unmarshals the document
+// into v. Pre-versioning documents (no header fields) pass validation.
+func ReadDocument(r io.Reader, want Header, v any) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("runio: read %s: %w", want.Format, err)
+	}
+	var h Header
+	if err := json.Unmarshal(data, &h); err != nil {
+		return fmt.Errorf("runio: decode %s: %w", want.Format, err)
+	}
+	if err := h.Check(want); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("runio: decode %s: %w", want.Format, err)
+	}
+	return nil
+}
+
+// LineFile is an append-only JSONL artifact whose first line is a
+// validated Header. Opening an existing file replays its entry lines; a
+// truncated final line (a write interrupted mid-crash) is dropped.
+// Append is safe for concurrent use.
+type LineFile struct {
+	mu   sync.Mutex
+	f    *os.File
+	enc  *json.Encoder
+	path string
+}
+
+// OpenLineFile opens (or creates) the JSONL artifact at path. An
+// existing file's header must pass Check against want; its entry lines
+// are returned raw, in file order, for the caller to decode. Trailing
+// lines that are not complete JSON values are dropped as torn writes. A
+// fresh — or entry-less — file is truncated and given the want header.
+func OpenLineFile(path string, want Header) (*LineFile, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("runio: open %s: %w", want.Format, err)
+	}
+	fail := func(err error) (*LineFile, [][]byte, error) {
+		f.Close()
+		return nil, nil, err
+	}
+
+	var entries [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<26) // entries (e.g. walks) serialize large
+	if sc.Scan() {
+		var h Header
+		if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+			return fail(fmt.Errorf("runio: %s %s: bad header: %w", want.Format, path, err))
+		}
+		if err := h.Check(want); err != nil {
+			return fail(fmt.Errorf("runio: %s: %w", path, err))
+		}
+		for sc.Scan() {
+			if !json.Valid(sc.Bytes()) {
+				break // interrupted mid-write: drop the partial tail
+			}
+			entries = append(entries, append([]byte(nil), sc.Bytes()...))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fail(fmt.Errorf("runio: %s %s: %w", want.Format, path, err))
+	}
+
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		return fail(fmt.Errorf("runio: %s %s: %w", want.Format, path, err))
+	}
+	lf := &LineFile{f: f, enc: json.NewEncoder(f), path: path}
+	if len(entries) == 0 {
+		// Fresh (or header-only) file: (re)write the header.
+		if err := f.Truncate(0); err != nil {
+			return fail(fmt.Errorf("runio: %s %s: %w", want.Format, path, err))
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return fail(fmt.Errorf("runio: %s %s: %w", want.Format, path, err))
+		}
+		if err := lf.enc.Encode(want); err != nil {
+			return fail(fmt.Errorf("runio: %s %s: %w", want.Format, path, err))
+		}
+	}
+	return lf, entries, nil
+}
+
+// Path returns the file's path.
+func (lf *LineFile) Path() string {
+	if lf == nil {
+		return ""
+	}
+	return lf.path
+}
+
+// Append encodes v as one JSONL entry line. Safe for concurrent use and
+// on a nil receiver.
+func (lf *LineFile) Append(v any) error {
+	if lf == nil {
+		return nil
+	}
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	if lf.f == nil {
+		return errors.New("runio: append to closed line file")
+	}
+	return lf.enc.Encode(v)
+}
+
+// Close syncs and closes the file. Safe on a nil receiver and after a
+// prior Close.
+func (lf *LineFile) Close() error {
+	if lf == nil {
+		return nil
+	}
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	if lf.f == nil {
+		return nil
+	}
+	err := lf.f.Sync()
+	if cerr := lf.f.Close(); err == nil {
+		err = cerr
+	}
+	lf.f = nil
+	return err
+}

@@ -1,6 +1,7 @@
 package tokens
 
 import (
+	"context"
 	"net/url"
 	"sort"
 
@@ -115,15 +116,26 @@ func PathsFromDatasetParallel(ds *crawler.Dataset, parallelism int) []*Path {
 // counter. A nil Telemetry records nothing and skips per-shard timing
 // entirely.
 func PathsFromDatasetInstrumented(ds *crawler.Dataset, parallelism int, tel *telemetry.Telemetry) []*Path {
+	out, _ := PathsFromDatasetCtx(context.Background(), ds, parallelism, tel)
+	return out
+}
+
+// PathsFromDatasetCtx is PathsFromDatasetInstrumented bounded by ctx:
+// cancellation stops the shard pool from taking new walks and returns
+// ctx's error with a partial (unusable) result.
+func PathsFromDatasetCtx(ctx context.Context, ds *crawler.Dataset, parallelism int, tel *telemetry.Telemetry) ([]*Path, error) {
 	names := ds.Crawlers
 	if len(names) == 0 {
 		names = crawler.AllCrawlers
 	}
 	reg := tel.Registry()
 	perWalk := make([][]*Path, len(ds.Walks))
-	parallel.ForEachTimed(len(ds.Walks), parallelism, func(i int) {
+	err := parallel.ForEachTimedCtx(ctx, len(ds.Walks), parallelism, func(i int) {
 		perWalk[i] = pathsFromWalk(ds.Walks[i], names)
 	}, reg.Histogram("tokens.path_shard_us").Microseconds())
+	if err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, ps := range perWalk {
 		total += len(ps)
@@ -133,7 +145,7 @@ func PathsFromDatasetInstrumented(ds *crawler.Dataset, parallelism int, tel *tel
 		out = append(out, ps...)
 	}
 	reg.Counter("tokens.paths").Add(int64(total))
-	return out
+	return out, nil
 }
 
 // pathsFromWalk reconstructs one walk's navigation paths in (step,
@@ -253,13 +265,24 @@ func AllCandidatesParallel(paths []*Path, parallelism int) []*Candidate {
 // shard wall times in tokens.candidate_shard_us, and the candidate total
 // in the tokens.candidates counter.
 func AllCandidatesInstrumented(paths []*Path, parallelism int, tel *telemetry.Telemetry) []*Candidate {
+	out, _ := AllCandidatesCtx(context.Background(), paths, parallelism, tel)
+	return out
+}
+
+// AllCandidatesCtx is AllCandidatesInstrumented bounded by ctx:
+// cancellation stops the shard pool from taking new paths and returns
+// ctx's error with a partial (unusable) result.
+func AllCandidatesCtx(ctx context.Context, paths []*Path, parallelism int, tel *telemetry.Telemetry) ([]*Candidate, error) {
 	reg := tel.Registry()
 	perPathHist := reg.Histogram("tokens.candidates_per_path")
 	perPath := make([][]*Candidate, len(paths))
-	parallel.ForEachTimed(len(paths), parallelism, func(i int) {
+	err := parallel.ForEachTimedCtx(ctx, len(paths), parallelism, func(i int) {
 		perPath[i] = FindCandidates(paths[i])
 		perPathHist.Observe(int64(len(perPath[i])))
 	}, reg.Histogram("tokens.candidate_shard_us").Microseconds())
+	if err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, cs := range perPath {
 		total += len(cs)
@@ -269,5 +292,5 @@ func AllCandidatesInstrumented(paths []*Path, parallelism int, tel *telemetry.Te
 		out = append(out, cs...)
 	}
 	reg.Counter("tokens.candidates").Add(int64(total))
-	return out
+	return out, nil
 }

@@ -9,6 +9,7 @@
 package uid
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -203,6 +204,14 @@ type groupVerdict struct {
 // cases with bookkeeping statistics. Per-group work runs concurrently
 // when opt.Parallelism > 1; the result is bit-identical regardless.
 func Identify(cands []*tokens.Candidate, opt Options) ([]*Case, Stats) {
+	cases, stats, _ := IdentifyCtx(context.Background(), cands, opt)
+	return cases, stats
+}
+
+// IdentifyCtx is Identify bounded by ctx: cancellation stops the
+// classification pool from taking new groups and returns ctx's error
+// with unusable partial results.
+func IdentifyCtx(ctx context.Context, cands []*tokens.Candidate, opt Options) ([]*Case, Stats, error) {
 	include := opt.crawlerSet()
 	stats := Stats{Programmatic: map[tokens.FilterReason]int{}}
 	stats.Candidates = len(cands)
@@ -214,14 +223,23 @@ func Identify(cands []*tokens.Candidate, opt Options) ([]*Case, Stats) {
 	reg.Counter("uid.groups").Add(int64(stats.Groups))
 
 	verdicts := make([]groupVerdict, len(groups))
-	parallel.ForEachTimed(len(groups), opt.Parallelism, func(i int) {
+	err := parallel.ForEachTimedCtx(ctx, len(groups), opt.Parallelism, func(i int) {
 		verdicts[i] = classifyGroup(groups[i], opt, include)
 	}, reg.Histogram("uid.classify_shard_us").Microseconds())
+	if err != nil {
+		return nil, stats, err
+	}
 
-	// Ordered reduce: accumulate statistics and confirmed cases in group
-	// order, exactly as the sequential loop did. Verdict counters live
-	// here rather than in classifyGroup so they increment in
-	// deterministic order too.
+	cases := reduceVerdicts(verdicts, &stats, reg)
+	return cases, stats, nil
+}
+
+// reduceVerdicts performs the ordered reduce: statistics and confirmed
+// cases accumulate in group order, exactly as a sequential loop would.
+// Verdict counters live here rather than in classifyGroup so they
+// increment in deterministic order too. Shared by the batch entry
+// points and the streaming identifier's drain.
+func reduceVerdicts(verdicts []groupVerdict, stats *Stats, reg *telemetry.Registry) []*Case {
 	var cases []*Case
 	for _, v := range verdicts {
 		switch v.kind {
@@ -248,7 +266,7 @@ func Identify(cands []*tokens.Candidate, opt Options) ([]*Case, Stats) {
 		}
 	}
 	stats.Final = len(cases)
-	return cases, stats
+	return cases
 }
 
 // classifyGroup applies the §3.7 rules to one group. It only reads the

@@ -16,31 +16,43 @@ type LifetimeIndex struct {
 // BuildLifetimeIndex scans every snapshot in the dataset.
 func BuildLifetimeIndex(ds *crawler.Dataset) *LifetimeIndex {
 	idx := &LifetimeIndex{byValue: map[string]time.Duration{}}
+	for _, w := range ds.Walks {
+		scanWalkLifetimes(w, idx.byValue)
+	}
+	return idx
+}
+
+// scanWalkLifetimes records every cookie in one walk's snapshots into
+// into, first occurrence wins. A cookie value always maps to the same
+// lifetime (the value is minted with the cookie), so first-wins is
+// order-insensitive. Shared by the batch index builder and the
+// streaming LifetimeAccumulator so both produce identical indices.
+func scanWalkLifetimes(w *crawler.Walk, into map[string]time.Duration) {
 	add := func(snap crawler.Snapshot) {
 		for _, c := range snap.Cookies {
-			if _, ok := idx.byValue[c.Value]; ok {
+			if _, ok := into[c.Value]; ok {
 				continue
 			}
 			if c.Expires.IsZero() {
-				idx.byValue[c.Value] = 0
+				into[c.Value] = 0
 				continue
 			}
-			idx.byValue[c.Value] = c.Expires.Sub(c.Created)
+			into[c.Value] = c.Expires.Sub(c.Created)
 		}
 	}
-	for _, w := range ds.Walks {
-		for _, rec := range w.SeedLoad {
+	if w == nil {
+		return
+	}
+	for _, rec := range w.SeedLoad {
+		add(rec.Before)
+		add(rec.After)
+	}
+	for _, s := range w.Steps {
+		for _, rec := range s.Records {
 			add(rec.Before)
 			add(rec.After)
 		}
-		for _, s := range w.Steps {
-			for _, rec := range s.Records {
-				add(rec.Before)
-				add(rec.After)
-			}
-		}
 	}
-	return idx
 }
 
 // Lifetime implements Options.LifetimeOf.

@@ -9,6 +9,7 @@ import (
 
 	"crumbcruncher/internal/dom"
 	"crumbcruncher/internal/ident"
+	"crumbcruncher/internal/netsim"
 	"crumbcruncher/internal/stats"
 	"crumbcruncher/internal/words"
 )
@@ -278,7 +279,7 @@ func (w *World) addExternalLink(s *Site, content *dom.Node, srng *stats.RNG, v v
 			// the Safari-1R repeat crawler exists to discard.
 			href += "?sid=" + sess
 		} else if srng.Bool(cfg.PBenignParams) {
-			href += "?" + benignQuery(srng, w.clockUnix())
+			href += "?" + benignQuery(srng)
 		}
 		a = dom.NewElement("a", "href", href)
 	}
@@ -367,7 +368,7 @@ func clickChainURL(chain []string, dest, aid string, uidParams url.Values) strin
 // benignQuery builds look-alike query parameters: slugs, locales,
 // coordinates, timestamps, concatenated words — the paper's §3.7.2
 // false-positive classes.
-func benignQuery(rng *stats.RNG, unixNow int64) string {
+func benignQuery(rng *stats.RNG) string {
 	var parts []string
 	n := 1 + rng.Intn(2)
 	for i := 0; i < n; i++ {
@@ -382,12 +383,16 @@ func benignQuery(rng *stats.RNG, unixNow int64) string {
 			parts = append(parts, fmt.Sprintf("geo=%d.%d,-%d.%d",
 				rng.Intn(80), rng.Intn(9999), rng.Intn(170), rng.Intn(9999)))
 		case 4:
-			parts = append(parts, fmt.Sprintf("ts=%d", unixNow))
+			// Epoch-era timestamp drawn from the page RNG, not the shared
+			// virtual clock: the clock's reading depends on how concurrent
+			// walks interleave their dwell drains, and a live read here
+			// made the page bytes — and every downstream metric —
+			// schedule-dependent at Parallelism > 1.
+			parts = append(parts, fmt.Sprintf("ts=%d",
+				netsim.Epoch.Unix()+int64(rng.Intn(45*24*3600))))
 		default:
 			parts = append(parts, "topic="+concatWords(rng, 2+rng.Intn(2)))
 		}
 	}
 	return strings.Join(parts, "&")
 }
-
-func (w *World) clockUnix() int64 { return w.net.Clock().Now().Unix() }

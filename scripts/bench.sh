@@ -1,7 +1,8 @@
 #!/bin/sh
-# Runs the tracked benchmark pair — the end-to-end crawl (BenchmarkCrawl)
-# and the parallel post-crawl re-analysis (BenchmarkAnalyzeParallel) —
-# and archives the results as JSON for cross-run comparison.
+# Runs the tracked benchmark set — the end-to-end crawl (BenchmarkCrawl),
+# the parallel post-crawl re-analysis (BenchmarkAnalyzeParallel) and the
+# streaming-vs-batch engine comparison (BenchmarkExecuteStreaming) — and
+# archives the results as JSON for cross-run comparison.
 #
 # Usage: scripts/bench.sh [output.json]
 # BENCHTIME overrides the per-benchmark iteration budget (default 1x:
@@ -9,11 +10,11 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr2.json}"
+out="${1:-BENCH_pr4.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench '^(BenchmarkCrawl|BenchmarkAnalyzeParallel)$' \
+go test -run '^$' -bench '^(BenchmarkCrawl|BenchmarkAnalyzeParallel|BenchmarkExecuteStreaming)$' \
 	-benchtime "${BENCHTIME:-1x}" -benchmem . | tee "$raw"
 
 awk '

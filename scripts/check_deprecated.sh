@@ -1,0 +1,19 @@
+#!/bin/sh
+# Fails if any command or example still calls the deprecated package
+# entry points (Execute, ExecuteContext, Reanalyze) instead of the
+# Runner API. The wrappers stay for downstream compatibility, but
+# everything in this repository must demonstrate the supported surface.
+set -eu
+cd "$(dirname "$0")/.."
+
+bad=0
+for pat in 'crumbcruncher\.Execute(' 'crumbcruncher\.ExecuteContext(' 'crumbcruncher\.Reanalyze('; do
+	if grep -rn --include='*.go' "$pat" cmd/ examples/; then
+		bad=1
+	fi
+done
+if [ "$bad" -ne 0 ]; then
+	echo "error: deprecated entry points used above; call crumbcruncher.NewRunner(cfg, opts...).Run(ctx) / ReanalyzeContext instead" >&2
+	exit 1
+fi
+echo "no deprecated entry-point uses in cmd/ or examples/"

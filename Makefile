@@ -1,19 +1,34 @@
 # Developer entry points. `make check` is the gate every change must
-# pass: it builds everything, vets, and runs the full test suite with the
-# race detector on — which exercises the parallel analysis pipeline's
-# determinism tests (Parallelism 1/4/16) under -race.
+# pass: it builds everything, vets, runs crumblint (the project's own
+# determinism/telemetry analyzers, via the same vet-tool path CI uses),
+# and runs the full test suite with the race detector on — which
+# exercises the parallel analysis pipeline's determinism tests
+# (Parallelism 1/4/16) under -race.
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-all
+.PHONY: check build vet lint test race bench bench-all
 
-check: build vet race
+check: build vet lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# crumblint: wallclock, seededrand, maporder, spanend, noentry. Driven
+# through `go vet -vettool` so diagnostics, caching and package loading
+# behave exactly like the builtin vet analyzers. `go run ./cmd/crumblint
+# ./...` is the equivalent standalone invocation.
+lint: bin/crumblint
+	$(GO) vet -vettool=$(CURDIR)/bin/crumblint ./...
+
+bin/crumblint: FORCE
+	$(GO) build -o bin/crumblint ./cmd/crumblint
+
+.PHONY: FORCE
+FORCE:
 
 test:
 	$(GO) test ./...

@@ -43,7 +43,7 @@ var (
 func fixture(b *testing.B) *crumbcruncher.Run {
 	b.Helper()
 	fixOnce.Do(func() {
-		fixRun, fixErr = crumbcruncher.Execute(crumbcruncher.DefaultConfig())
+		fixRun, fixErr = crumbcruncher.NewRunner(crumbcruncher.DefaultConfig()).Run(context.Background())
 	})
 	if fixErr != nil {
 		b.Fatal(fixErr)
@@ -472,7 +472,7 @@ func BenchmarkCrawl(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		run, err = crumbcruncher.Execute(cfg)
+		run, err = crumbcruncher.NewRunner(cfg).Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -878,7 +878,7 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 			var out *crumbcruncher.Run
 			for i := 0; i < b.N; i++ {
 				var err error
-				out, err = crumbcruncher.Reanalyze(cfg, r)
+				out, err = crumbcruncher.NewRunner(cfg).Reanalyze(context.Background(), r)
 				if err != nil {
 					b.Fatal(err)
 				}

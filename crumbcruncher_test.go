@@ -1,6 +1,7 @@
 package crumbcruncher_test
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -13,7 +14,7 @@ import (
 func TestExecuteAndReport(t *testing.T) {
 	cfg := crumbcruncher.SmallConfig()
 	cfg.Walks = 25
-	run, err := crumbcruncher.Execute(cfg)
+	run, err := crumbcruncher.NewRunner(cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestExecuteAndReport(t *testing.T) {
 func TestSaveLoadRoundTrip(t *testing.T) {
 	cfg := crumbcruncher.SmallConfig()
 	cfg.Walks = 15
-	run, err := crumbcruncher.Execute(cfg)
+	run, err := crumbcruncher.NewRunner(cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestPublicCountermeasures(t *testing.T) {
 func TestDatasetJSONRoundTrip(t *testing.T) {
 	cfg := crumbcruncher.SmallConfig()
 	cfg.Walks = 10
-	run, err := crumbcruncher.Execute(cfg)
+	run, err := crumbcruncher.NewRunner(cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestDatasetJSONRoundTrip(t *testing.T) {
 func TestComputeMetrics(t *testing.T) {
 	cfg := crumbcruncher.SmallConfig()
 	cfg.Walks = 20
-	run, err := crumbcruncher.Execute(cfg)
+	run, err := crumbcruncher.NewRunner(cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestParallelAnalysisDeterminism(t *testing.T) {
 		cfg.World.Seed = seed
 		cfg.Walks = 40
 		cfg.Parallelism = 1
-		run, err := crumbcruncher.Execute(cfg)
+		run, err := crumbcruncher.NewRunner(cfg).Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,7 +162,7 @@ func TestParallelAnalysisDeterminism(t *testing.T) {
 		for _, par := range []int{4, 16} {
 			pcfg := cfg
 			pcfg.Parallelism = par
-			prun, err := crumbcruncher.Reanalyze(pcfg, run)
+			prun, err := crumbcruncher.NewRunner(pcfg).Reanalyze(context.Background(), run)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,68 @@
+package crumbcruncher_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"crumbcruncher"
+)
+
+// This file is the only place the deprecated package-level wrappers may
+// be called: it pins their behaviour to the Runner API they delegate
+// to. Everywhere else a call to Execute, ExecuteContext or Reanalyze is
+// a crumblint noentry violation, which is why every call below carries
+// a //crumb:allow noentry directive.
+
+func metricsOf(t *testing.T, run *crumbcruncher.Run) string {
+	t.Helper()
+	var b strings.Builder
+	if err := crumbcruncher.WriteMetricsJSON(&b, run); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestDeprecatedWrappersMatchRunner(t *testing.T) {
+	cfg := crumbcruncher.SmallConfig()
+	cfg.Walks = 15
+
+	want, err := crumbcruncher.NewRunner(cfg).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := metricsOf(t, want)
+
+	//crumb:allow noentry deprecation coverage for the legacy wrapper
+	got, err := crumbcruncher.Execute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metricsOf(t, got) != wantJSON {
+		t.Error("Execute diverged from NewRunner(cfg).Run")
+	}
+
+	//crumb:allow noentry deprecation coverage for the legacy wrapper
+	got, err = crumbcruncher.ExecuteContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metricsOf(t, got) != wantJSON {
+		t.Error("ExecuteContext diverged from NewRunner(cfg).Run")
+	}
+
+	rcfg := cfg
+	rcfg.Parallelism = 4
+	wantRerun, err := crumbcruncher.NewRunner(rcfg).Reanalyze(context.Background(), want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	//crumb:allow noentry deprecation coverage for the legacy wrapper
+	gotRerun, err := crumbcruncher.Reanalyze(rcfg, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metricsOf(t, gotRerun) != metricsOf(t, wantRerun) {
+		t.Error("Reanalyze diverged from NewRunner(cfg).Reanalyze")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"os"
+	"sort"
 	"testing"
 
 	"crumbcruncher/internal/uid"
@@ -94,7 +95,7 @@ func TestCalibrationReport(t *testing.T) {
 	for k := range srcCount {
 		srcKeys = append(srcKeys, k)
 	}
-	sortStrings(srcKeys)
+	sort.Strings(srcKeys)
 	for _, k := range srcKeys {
 		if srcCount[k] > 5 {
 			t.Logf("SRC %4d %s", srcCount[k], k)
@@ -118,7 +119,7 @@ func TestCalibrationReport(t *testing.T) {
 	for k := range combo {
 		keys = append(keys, k)
 	}
-	sortStrings(keys)
+	sort.Strings(keys)
 	for _, k := range keys {
 		if combo[k] > 10 {
 			t.Logf("COMBO %4d %s", combo[k], k)
@@ -134,13 +135,5 @@ func TestCalibrationReport(t *testing.T) {
 	hist := r.Analysis.RedirectorHistogram()
 	for _, b := range hist {
 		t.Logf("FIG7[%d redirectors]: no=%d one=%d two+=%d", b.Redirectors, b.NoDedicated, b.OneDedicated, b.TwoPlusDedicated)
-	}
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
 	}
 }

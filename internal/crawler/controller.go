@@ -100,7 +100,7 @@ func (c *Controller) rendezvous(key, crawler string, sub interface{}, need int,
 	select {
 	case <-b.done:
 		return b.result, nil
-	case <-time.After(c.timeout):
+	case <-time.After(c.timeout): //crumb:allow wallclock real deadlock guard; never fires on the success path
 		return nil, ErrBarrierTimeout
 	}
 }

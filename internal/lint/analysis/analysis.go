@@ -1,0 +1,101 @@
+// Package analysis is a dependency-free re-implementation of the core
+// of golang.org/x/tools/go/analysis: the Analyzer/Pass/Diagnostic
+// contract that crumblint's checkers are written against.
+//
+// The repository deliberately has no module dependencies (the whole
+// pipeline is standard library only), so rather than importing x/tools
+// this package defines the same shapes from scratch. Checkers written
+// against it look exactly like upstream analyzers — a Name, a Doc
+// string, and a Run function over a type-checked Pass — and the drivers
+// in internal/lint/driver speak both the standalone (go list) and the
+// `go vet -vettool` unitchecker protocols around them.
+//
+// Only the subset crumblint needs is implemented: no Facts, no
+// Requires-DAG, no suggested fixes. Diagnostics are position-accurate
+// (token.Pos into the Pass's FileSet).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, command-line flags
+	// and //crumb:allow directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary,
+	// optionally followed by a blank line and further paragraphs.
+	Doc string
+
+	// Run applies the analyzer to a single type-checked package.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass presents one type-checked compilation unit to an Analyzer's
+// Run function, and collects what it reports.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. The driver fills this in.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportRangef reports a diagnostic over the node's source extent.
+func (p *Pass) ReportRangef(n ast.Node, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: n.Pos(), End: n.End(), Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding of an analyzer, anchored at a position of
+// the Pass's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	End     token.Pos // optional: end of the offending extent
+	Message string
+}
+
+// Validate checks that the analyzers are well formed (named, runnable,
+// no duplicate names); drivers call it once at startup.
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		if a == nil {
+			return fmt.Errorf("nil *Analyzer")
+		}
+		if a.Name == "" {
+			return fmt.Errorf("analyzer with empty name (doc: %.40q)", a.Doc)
+		}
+		if a.Run == nil {
+			return fmt.Errorf("analyzer %q has no Run function", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+// Inspect walks every file of the pass in depth-first order, calling fn
+// for each node. If fn returns false the node's children are skipped.
+// It is the moral equivalent of the upstream inspect.Analyzer pass.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

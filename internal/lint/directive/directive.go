@@ -1,0 +1,140 @@
+// Package directive parses the //crumb:allow escape hatch that exempts
+// a specific source location from a crumblint analyzer.
+//
+// Syntax, anywhere a comment may appear:
+//
+//	//crumb:allow <name>[,<name>...] [— free-form justification]
+//
+// Scope rules, chosen so every exemption stays visible in a diff:
+//
+//   - a trailing directive exempts the line it shares with code;
+//   - a directive on a line of its own exempts the next line;
+//   - a directive in a function's doc comment exempts the whole
+//     function body.
+//
+// There is no file- or package-level form on purpose: a blanket waiver
+// would defeat the point of machine-checking the invariants.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// prefix is the directive marker. Like all Go directives it must start
+// the comment with no space after "//".
+const prefix = "//crumb:allow"
+
+// Allows records every directive of a set of files, queryable by
+// analyzer name and position.
+type Allows struct {
+	fset *token.FileSet
+	// lines maps file -> line -> analyzer names allowed on that line.
+	lines map[string]map[int]map[string]bool
+	// spans lists position ranges (function bodies) with allowed names.
+	spans []span
+}
+
+type span struct {
+	pos, end token.Pos
+	names    map[string]bool
+}
+
+// Collect scans the files' comments and function doc comments for
+// directives.
+func Collect(fset *token.FileSet, files []*ast.File) *Allows {
+	a := &Allows{fset: fset, lines: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parse(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// The directive covers its own line and, when it stands
+				// alone, the line below it — the two places a reader
+				// expects a suppression to sit.
+				a.allowLine(pos.Filename, pos.Line, names)
+				a.allowLine(pos.Filename, pos.Line+1, names)
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			names := map[string]bool{}
+			for _, c := range fd.Doc.List {
+				if ns, ok := parse(c.Text); ok {
+					for n := range ns {
+						names[n] = true
+					}
+				}
+			}
+			if len(names) > 0 {
+				a.spans = append(a.spans, span{pos: fd.Pos(), end: fd.End(), names: names})
+			}
+		}
+	}
+	return a
+}
+
+func (a *Allows) allowLine(file string, line int, names map[string]bool) {
+	byLine := a.lines[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		a.lines[file] = byLine
+	}
+	set := byLine[line]
+	if set == nil {
+		set = make(map[string]bool)
+		byLine[line] = set
+	}
+	for n := range names {
+		set[n] = true
+	}
+}
+
+// Allowed reports whether analyzer name is exempted at pos.
+func (a *Allows) Allowed(name string, pos token.Pos) bool {
+	if a == nil || !pos.IsValid() {
+		return false
+	}
+	p := a.fset.Position(pos)
+	if byLine := a.lines[p.Filename]; byLine != nil && byLine[p.Line][name] {
+		return true
+	}
+	for _, s := range a.spans {
+		if s.names[name] && pos >= s.pos && pos < s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// parse extracts the analyzer names of a directive comment, or ok=false
+// when the comment is not one.
+func parse(text string) (map[string]bool, bool) {
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := text[len(prefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false // e.g. //crumb:allowance
+	}
+	// Names are the first whitespace-delimited field; anything after is
+	// justification prose.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	names := make(map[string]bool)
+	for _, n := range strings.Split(fields[0], ",") {
+		if n != "" {
+			names[n] = true
+		}
+	}
+	return names, len(names) > 0
+}

@@ -1,0 +1,146 @@
+// Package driver runs crumblint analyzers over type-checked packages.
+// It speaks two protocols with nothing beyond the standard library:
+//
+//   - standalone: load packages named by `./...`-style patterns through
+//     `go list -export`, type-check them against the build cache's
+//     export data, and analyze every unit (including test files);
+//
+//   - unitchecker: the `go vet -vettool` contract — answer -V=full and
+//     -flags for the build tool, then analyze the single compilation
+//     unit described by a JSON .cfg file vet hands us.
+//
+// Both paths funnel into checkUnit, so a diagnostic means the same
+// thing no matter how the tool was invoked.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+
+	"crumbcruncher/internal/lint/analysis"
+	"crumbcruncher/internal/lint/directive"
+)
+
+// unit is one compilation unit ready to analyze: parsed inputs plus an
+// importer for everything it references.
+type unit struct {
+	importPath string // canonical path, test-variant suffix stripped
+	id         string // display identity (may carry " [pkg.test]")
+	goFiles    []string
+	goVersion  string // e.g. "go1.22"; empty means the toolchain default
+	compiler   string // "gc" unless the build tool says otherwise
+
+	// resolve maps a source-level import path to the export-data file
+	// of the package it denotes in this unit's build.
+	resolve func(path string) (string, error)
+}
+
+// finding pairs a diagnostic with the analyzer that produced it.
+type finding struct {
+	analyzer string
+	pos      token.Position
+	end      token.Position
+	message  string
+}
+
+// checkUnit parses, type-checks and analyzes one unit, returning
+// directive-filtered findings sorted by position. A parse or type error
+// is returned as-is (callers decide whether that is fatal: vet's
+// SucceedOnTypecheckFailure tolerates it, standalone mode does not).
+func checkUnit(fset *token.FileSet, u unit, analyzers []*analysis.Analyzer) ([]finding, error) {
+	var files []*ast.File
+	for _, name := range u.goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := u.compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, err := u.resolve(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: u.goVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(u.importPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	allows := directive.Collect(fset, files)
+	var out []finding
+	for _, a := range analyzers {
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, u.id, err)
+		}
+		for _, d := range diags {
+			if allows.Allowed(a.Name, d.Pos) {
+				continue
+			}
+			f := finding{analyzer: a.Name, pos: fset.Position(d.Pos), message: d.Message}
+			if d.End.IsValid() {
+				f.end = fset.Position(d.End)
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.analyzer < b.analyzer
+	})
+	return out, nil
+}
+
+// printPlain writes findings in the canonical file:line:col form the
+// acceptance tests (and editors) expect.
+func printPlain(w io.Writer, fs []finding) {
+	for _, f := range fs {
+		fmt.Fprintf(w, "%s: %s [%s]\n", f.pos, f.message, f.analyzer)
+	}
+}

@@ -1,0 +1,85 @@
+package driver
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"crumbcruncher/internal/lint/analysis"
+)
+
+// Main is the entry point shared by cmd/crumblint: it dispatches
+// between the build-tool handshakes (-V=full, -flags), unitchecker mode
+// (a single *.cfg argument from `go vet -vettool`), and standalone mode
+// (package patterns resolved through `go list`).
+func Main(analyzers ...*analysis.Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix(progname() + ": ")
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	versionFlag := flag.String("V", "", "print version and exit (-V=full is the go command's handshake)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags in JSON (for the go command)")
+	testsFlag := flag.Bool("tests", true, "standalone mode: also analyze test files")
+	selected := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		usage := a.Doc
+		if i := strings.IndexByte(usage, '\n'); i >= 0 {
+			usage = usage[:i]
+		}
+		selected[a.Name] = flag.Bool(a.Name, false, "enable only the "+a.Name+" analyzer: "+usage)
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `%[1]s machine-checks crumbcruncher's determinism, clock and telemetry invariants.
+
+Usage:
+	%[1]s [-NAME...] package...	# standalone, e.g. %[1]s ./...
+	go vet -vettool=$(which %[1]s) ./...	# as a vet tool (covers test files)
+
+Analyzers (all run by default; -NAME selects a subset):
+`, progname())
+		for _, a := range analyzers {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(os.Stderr, "	%-12s %s\n", a.Name, doc)
+		}
+		os.Exit(2)
+	}
+	flag.Parse()
+
+	if *versionFlag != "" {
+		printVersion()
+		return
+	}
+	if *flagsFlag {
+		printFlags(analyzers)
+		return
+	}
+
+	// Explicitly enabled analyzers narrow the run to just those; with no
+	// selection flags every analyzer runs (vet semantics).
+	var enabled []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *selected[a.Name] {
+			enabled = append(enabled, a)
+		}
+	}
+	if len(enabled) == 0 {
+		enabled = analyzers
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnitchecker(args[0], enabled)
+		return
+	}
+	if len(args) == 0 {
+		flag.Usage()
+	}
+	runStandaloneMain(args, *testsFlag, enabled)
+}

@@ -1,0 +1,173 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"crumbcruncher/internal/lint/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	ForTest    string
+	ImportMap  map[string]string
+	Module     *struct{ GoVersion string }
+	Error      *struct{ Err string }
+}
+
+// baseImportPath strips a test-variant suffix:
+// "p [p.test]" -> "p".
+func baseImportPath(id string) string {
+	if i := strings.Index(id, " ["); i >= 0 {
+		return id[:i]
+	}
+	return id
+}
+
+// loadPackages shells out to `go list -export -deps -json` (plus -test
+// when includeTests is set) and returns the analysis units among the
+// listed patterns, with import resolution backed by the export data the
+// build cache produced.
+func loadPackages(patterns []string, includeTests bool) ([]unit, error) {
+	args := []string{"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Export,DepOnly,ForTest,ImportMap,Module,Error"}
+	if includeTests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go list: %s", msg)
+	}
+
+	byID := make(map[string]*listPackage)
+	var order []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		cp := p
+		byID[cp.ImportPath] = &cp
+		order = append(order, &cp)
+	}
+
+	// A package with in-package test files appears twice: as itself and
+	// as "p [p.test]" whose GoFiles additionally include the test files.
+	// Analyze the variant and skip the plain entry so shared files are
+	// checked exactly once.
+	hasVariant := make(map[string]bool)
+	for _, p := range order {
+		if p.ForTest != "" && baseImportPath(p.ImportPath) == p.ForTest {
+			hasVariant[p.ForTest] = true
+		}
+	}
+
+	var units []unit
+	for _, p := range order {
+		if p.DepOnly || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if hasVariant[p.ImportPath] && p.ForTest == "" {
+			continue
+		}
+		if len(p.CgoFiles) > 0 {
+			// cgo units cannot be type-checked without the generated
+			// sources; the repository has none, but fail loudly rather
+			// than silently skipping if one ever appears.
+			return nil, fmt.Errorf("%s: cgo packages are not supported by crumblint's standalone mode; use go vet -vettool", p.ImportPath)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		goVersion := ""
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		importMap := p.ImportMap
+		units = append(units, unit{
+			importPath: baseImportPath(p.ImportPath),
+			id:         p.ImportPath,
+			goFiles:    files,
+			goVersion:  goVersion,
+			compiler:   "gc",
+			resolve: func(path string) (string, error) {
+				if mapped, ok := importMap[path]; ok {
+					path = mapped
+				}
+				dep := byID[path]
+				if dep == nil || dep.Export == "" {
+					return "", fmt.Errorf("no export data for %q", path)
+				}
+				return dep.Export, nil
+			},
+		})
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].id < units[j].id })
+	return units, nil
+}
+
+// RunStandalone analyzes the packages matched by patterns and writes
+// findings to w. It returns the number of findings; a non-nil error
+// means the analysis itself could not run (load or type-check failure).
+func RunStandalone(w io.Writer, patterns []string, includeTests bool, analyzers []*analysis.Analyzer) (int, error) {
+	units, err := loadPackages(patterns, includeTests)
+	if err != nil {
+		return 0, err
+	}
+	fset := token.NewFileSet()
+	total := 0
+	for _, u := range units {
+		findings, err := checkUnit(fset, u, analyzers)
+		if err != nil {
+			return total, fmt.Errorf("%s: %w", u.id, err)
+		}
+		printPlain(w, findings)
+		total += len(findings)
+	}
+	return total, nil
+}
+
+// runStandaloneMain is RunStandalone with command-line semantics.
+func runStandaloneMain(patterns []string, includeTests bool, analyzers []*analysis.Analyzer) {
+	n, err := RunStandalone(os.Stderr, patterns, includeTests, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname(), err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,156 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"crumbcruncher/internal/lint/analysis"
+)
+
+// vetConfig mirrors the JSON document `go vet` writes for each
+// compilation unit (cmd/go/internal/work's vetConfig). Field names are
+// the wire format; unknown fields are ignored.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+
+	VetxOnly   bool
+	VetxOutput string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker analyzes the single unit described by cfgFile and
+// exits with vet's expected status: 0 clean, 1 findings, fatal on
+// driver errors. go vet caches results keyed on our -V=full output, so
+// the tool must also write the (empty) facts file it promised.
+func runUnitchecker(cfgFile string, analyzers []*analysis.Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		// The go command disallows packages with no Go files; the only
+		// exception, unsafe, is never vetted.
+		log.Fatalf("package has no files: %s", cfg.ImportPath)
+	}
+
+	u := unit{
+		importPath: baseImportPath(cfg.ImportPath),
+		id:         cfg.ID,
+		goFiles:    cfg.GoFiles,
+		goVersion:  cfg.GoVersion,
+		compiler:   cfg.Compiler,
+		resolve: func(path string) (string, error) {
+			if mapped, ok := cfg.ImportMap[path]; ok {
+				path = mapped
+			}
+			file, ok := cfg.PackageFile[path]
+			if !ok {
+				return "", fmt.Errorf("no package file for %q", path)
+			}
+			return file, nil
+		},
+	}
+
+	fset := token.NewFileSet()
+	findings, err := checkUnit(fset, u, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler will report the parse/type error itself;
+			// vet should stay quiet.
+			writeVetx(cfg)
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+
+	writeVetx(cfg)
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+	printPlain(os.Stderr, findings)
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// writeVetx records the unit's (empty — crumblint has no facts) fact
+// file so the build tool can cache the vet result.
+func writeVetx(cfg *vetConfig) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// printVersion answers `crumblint -V=full`, the handshake the go
+// command uses to fingerprint a vet tool for its build cache. The line
+// must read "<name> version <non-devel token>"; embedding a digest of
+// the executable makes rebuilt tools invalidate stale cached results.
+func printVersion() {
+	version := "v1"
+	if self, err := os.Executable(); err == nil {
+		if f, err := os.Open(self); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				version = fmt.Sprintf("v1-%x", h.Sum(nil)[:12])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version %s\n", progname(), version)
+}
+
+// jsonFlag is one entry of the -flags handshake: the flags `go vet`
+// will accept on behalf of the tool.
+type jsonFlag struct {
+	Name  string
+	Bool  bool
+	Usage string
+}
+
+// printFlags answers `crumblint -flags` with the JSON description of
+// the analyzer-selection flags.
+func printFlags(analyzers []*analysis.Analyzer) {
+	var flags []jsonFlag
+	for _, a := range analyzers {
+		usage := a.Doc
+		if i := strings.IndexByte(usage, '\n'); i >= 0 {
+			usage = usage[:i]
+		}
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: usage})
+	}
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+func progname() string { return filepath.Base(os.Args[0]) }

@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"crumbcruncher/internal/lint"
+	"crumbcruncher/internal/lint/linttest"
+)
+
+// Each analyzer has a golden fixture package under testdata/src with
+// positive hits, idiomatic negatives, and //crumb:allow directive
+// handling asserted line by line.
+
+func TestWallclock(t *testing.T) {
+	linttest.Run(t, "testdata", lint.Wallclock, "wallclock")
+}
+
+func TestSeededRand(t *testing.T) {
+	linttest.Run(t, "testdata", lint.SeededRand, "seededrand", "seededrand/internal/stats")
+}
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MapOrder, "maporder")
+}
+
+func TestSpanEnd(t *testing.T) {
+	linttest.Run(t, "testdata", lint.SpanEnd, "spanend")
+}
+
+func TestNoEntry(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NoEntry, "noentry", "crumbcruncher")
+}

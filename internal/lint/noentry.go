@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"crumbcruncher/internal/lint/analysis"
+)
+
+// NoEntry forbids the deprecated package entry points outside their own
+// definitions and deprecation tests. It replaces the grep-based
+// scripts/check_deprecated.sh with a type-aware check: a renamed import
+// or wrapper can't hide a call, and shadowing identifiers can't produce
+// false positives.
+var NoEntry = &analysis.Analyzer{
+	Name: "noentry",
+	Doc: "forbid deprecated entry points (Execute, ExecuteContext, Reanalyze)\n\n" +
+		"Everything in the repository must use the Runner API; the wrappers\n" +
+		"stay only for downstream compatibility and their own deprecation tests.",
+	Run: runNoEntry,
+}
+
+// rootPkgPath is the defining package of the deprecated entry points.
+const rootPkgPath = "crumbcruncher"
+
+// deprecatedEntry maps a deprecated root-package function to the
+// replacement named in the diagnostic.
+var deprecatedEntry = map[string]string{
+	"Execute":        "NewRunner(cfg).Run(ctx)",
+	"ExecuteContext": "NewRunner(cfg).Run(ctx)",
+	"Reanalyze":      "NewRunner(cfg).Reanalyze(ctx, run) or ReanalyzeContext(ctx, cfg, run)",
+}
+
+func runNoEntry(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() == rootPkgPath {
+		// The wrappers' own definitions (and the package's in-package
+		// tests) may reference each other freely.
+		return nil, nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != rootPkgPath {
+			return true
+		}
+		// Only the package-level wrappers are deprecated; methods that
+		// share a name (Runner.Reanalyze is the replacement) are fine.
+		if fn, ok := obj.(*types.Func); !ok || fn.Type().(*types.Signature).Recv() != nil {
+			return true
+		}
+		replacement, deprecated := deprecatedEntry[obj.Name()]
+		if !deprecated {
+			return true
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos: sel.Pos(),
+			End: sel.End(),
+			Message: obj.Name() + " is a deprecated entry point; use crumbcruncher." + replacement +
+				" (deprecation tests may waive this with //crumb:allow noentry)",
+		})
+		return true
+	})
+	return nil, nil
+}

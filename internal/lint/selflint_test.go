@@ -1,0 +1,26 @@
+package lint_test
+
+import (
+	"bytes"
+	"testing"
+
+	"crumbcruncher/internal/lint"
+	"crumbcruncher/internal/lint/driver"
+)
+
+// TestSelfLint runs every analyzer over the whole repository, tests
+// included. The tree must stay clean: a violation fails here before it
+// ever reaches CI's vet-tool run.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list -export over the whole module")
+	}
+	var buf bytes.Buffer
+	n, err := driver.RunStandalone(&buf, []string{"crumbcruncher/..."}, true, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("crumblint found %d findings in the repository:\n%s", n, buf.String())
+	}
+}

@@ -1,0 +1,36 @@
+// Package crumbcruncher is a fake of the real root package: the same
+// entry-point names, no behaviour. The noentry fixtures import it so
+// the analyzer sees objects defined in package path "crumbcruncher".
+package crumbcruncher
+
+import "context"
+
+type Config struct{}
+
+type Run struct{}
+
+type Runner struct{ cfg Config }
+
+func NewRunner(cfg Config) *Runner { return &Runner{cfg: cfg} }
+
+func (r *Runner) Run(ctx context.Context) (*Run, error) { return &Run{}, nil }
+
+func (r *Runner) Reanalyze(ctx context.Context, run *Run) (*Run, error) { return run, nil }
+
+// Deprecated wrappers, mirroring the real package.
+
+func Execute(cfg Config) (*Run, error) {
+	return NewRunner(cfg).Run(context.Background())
+}
+
+func ExecuteContext(ctx context.Context, cfg Config) (*Run, error) {
+	return NewRunner(cfg).Run(ctx)
+}
+
+func Reanalyze(cfg Config, run *Run) (*Run, error) {
+	return NewRunner(cfg).Reanalyze(context.Background(), run)
+}
+
+func ReanalyzeContext(ctx context.Context, cfg Config, run *Run) (*Run, error) {
+	return NewRunner(cfg).Reanalyze(ctx, run)
+}

@@ -1,0 +1,27 @@
+package noentry
+
+import (
+	"context"
+
+	"crumbcruncher"
+)
+
+func bad(cfg crumbcruncher.Config) {
+	_, _ = crumbcruncher.Execute(cfg)                              // want `Execute is a deprecated entry point`
+	_, _ = crumbcruncher.ExecuteContext(context.Background(), cfg) // want `ExecuteContext is a deprecated entry point`
+}
+
+func badReanalyze(cfg crumbcruncher.Config, run *crumbcruncher.Run) {
+	_, _ = crumbcruncher.Reanalyze(cfg, run) // want `Reanalyze is a deprecated entry point`
+}
+
+func good(cfg crumbcruncher.Config, run *crumbcruncher.Run) {
+	r := crumbcruncher.NewRunner(cfg)
+	_, _ = r.Run(context.Background())
+	_, _ = r.Reanalyze(context.Background(), run) // the Runner method shares the name; fine
+	_, _ = crumbcruncher.ReanalyzeContext(context.Background(), cfg, run)
+}
+
+func waived(cfg crumbcruncher.Config) {
+	_, _ = crumbcruncher.Execute(cfg) //crumb:allow noentry fixture: deprecation coverage
+}

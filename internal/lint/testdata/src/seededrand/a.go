@@ -1,0 +1,23 @@
+package seededrand
+
+import "math/rand"
+
+func bad() int {
+	return rand.Intn(10) // want `rand\.Intn draws from math/rand`
+}
+
+func badNew() int {
+	r := rand.New(rand.NewSource(1)) // want `rand\.New draws from math/rand` `rand\.NewSource draws from math/rand`
+	return r.Intn(4)
+}
+
+// Even a bare type reference is flagged: handing *rand.Rand values
+// around outside internal/stats bypasses the seed lineage just as much
+// as drawing from one.
+func typeRef(r *rand.Rand) int { // want `rand\.Rand draws from math/rand`
+	return r.Int()
+}
+
+func allowed() int {
+	return rand.Intn(3) //crumb:allow seededrand fixture: directive exempts this draw
+}

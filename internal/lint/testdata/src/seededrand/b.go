@@ -1,0 +1,6 @@
+package seededrand
+
+// A blank import has no qualified uses to flag, so the analyzer reports
+// the import itself.
+
+import _ "math/rand" // want `import of math/rand outside internal/stats`

@@ -1,0 +1,53 @@
+package wallclock
+
+import "time"
+
+func bad() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func badFriends(t0 time.Time) {
+	time.Sleep(time.Millisecond)     // want `time\.Sleep reads the wall clock`
+	_ = time.Since(t0)               // want `time\.Since reads the wall clock`
+	_ = time.Until(t0)               // want `time\.Until reads the wall clock`
+	tk := time.NewTicker(time.Hour)  // want `time\.NewTicker reads the wall clock`
+	tm := time.NewTimer(time.Hour)   // want `time\.NewTimer reads the wall clock`
+	<-time.After(time.Hour)          // want `time\.After reads the wall clock`
+	time.AfterFunc(time.Hour, bad2)  // want `time\.AfterFunc reads the wall clock`
+	tk.Stop()
+	tm.Stop()
+}
+
+func bad2() {}
+
+func pure() {
+	// Pure time construction and arithmetic stay legal.
+	d := time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC)
+	u := time.Unix(0, 0)
+	_ = d.Sub(u)
+	_ = 3 * time.Second
+}
+
+func allowedTrailing() time.Time {
+	return time.Now() //crumb:allow wallclock fixture: trailing directive exempts this line
+}
+
+func allowedStandalone() time.Time {
+	//crumb:allow wallclock fixture: standalone directive exempts the next line
+	return time.Now()
+}
+
+// allowedByDoc has the directive in its doc comment, exempting the
+// whole body.
+//
+//crumb:allow wallclock fixture: function-scoped waiver
+func allowedByDoc() (time.Time, time.Time) {
+	a := time.Now()
+	b := time.Now()
+	return a, b
+}
+
+func wrongDirectiveName() time.Time {
+	//crumb:allow seededrand a directive for another analyzer does not cover wallclock
+	return time.Now() // want `time\.Now reads the wall clock`
+}

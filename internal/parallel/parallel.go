@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"crumbcruncher/internal/telemetry"
 )
 
 // Workers clamps a parallelism knob to [1, n] for n work items. Zero and
@@ -108,9 +110,9 @@ func ForEachTimedCtx(ctx context.Context, n, p int, fn func(i int), observe func
 		return ForEachCtx(ctx, n, p, fn)
 	}
 	return ForEachCtx(ctx, n, p, func(i int) {
-		start := time.Now()
+		sw := telemetry.StartStopwatch()
 		fn(i)
-		observe(time.Since(start))
+		observe(sw.Elapsed())
 	})
 }
 
@@ -125,9 +127,9 @@ func ForEachTimed(n, p int, fn func(i int), observe func(d time.Duration)) {
 		return
 	}
 	ForEach(n, p, func(i int) {
-		start := time.Now()
+		sw := telemetry.StartStopwatch()
 		fn(i)
-		observe(time.Since(start))
+		observe(sw.Elapsed())
 	})
 }
 

@@ -128,12 +128,40 @@ type Span struct {
 // VirtualDuration is the span's extent on the virtual clock.
 func (s Span) VirtualDuration() time.Duration { return s.End.Sub(s.Start) }
 
+// Stopwatch measures real elapsed time for telemetry enrichment. It is
+// the pipeline's only sanctioned wall-clock observation point: results
+// must be a pure function of the seed, but traces and shard-timing
+// histograms legitimately record how long real work took. Everything
+// that wants wall time goes through here so the crumblint wallclock
+// analyzer has exactly one allowlisted origin to audit.
+type Stopwatch struct {
+	start time.Time
+}
+
+// StartStopwatch begins measuring wall time.
+func StartStopwatch() Stopwatch {
+	//crumb:allow wallclock telemetry wall-stamping is observability, never an input to results
+	return Stopwatch{start: time.Now()}
+}
+
+// Elapsed returns the wall time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration {
+	//crumb:allow wallclock paired read for the sanctioned stopwatch origin
+	return time.Since(s.start)
+}
+
+// ElapsedMicros returns the elapsed wall time in microseconds, the unit
+// the shard-timing histograms observe.
+func (s Stopwatch) ElapsedMicros() int64 {
+	return s.Elapsed().Microseconds()
+}
+
 // Active is an in-flight span handle returned by StartSpan. A nil
 // *Active is a valid no-op; all methods are safe on nil.
 type Active struct {
 	t         *Telemetry
 	span      Span
-	wallStart time.Time
+	wallStart Stopwatch
 }
 
 // StartSpan opens a span in the given layer. End (or EndErr) completes
@@ -146,7 +174,7 @@ func (t *Telemetry) StartSpan(layer, name string) *Active {
 	return &Active{
 		t:         t,
 		span:      Span{Layer: layer, Name: name, Start: t.now()},
-		wallStart: time.Now(),
+		wallStart: StartStopwatch(),
 	}
 }
 
@@ -172,7 +200,7 @@ func (a *Active) EndErr(err error) {
 		return
 	}
 	a.span.End = a.t.now()
-	a.span.Wall = time.Since(a.wallStart).Nanoseconds()
+	a.span.Wall = a.wallStart.Elapsed().Nanoseconds()
 	if err != nil {
 		a.span.Err = err.Error()
 	}

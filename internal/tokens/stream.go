@@ -3,7 +3,6 @@ package tokens
 import (
 	"encoding/json"
 	"fmt"
-	"time"
 
 	"crumbcruncher/internal/crawler"
 	"crumbcruncher/internal/telemetry"
@@ -123,14 +122,14 @@ func NewAccumulator(walks int, crawlers []string, tel *telemetry.Telemetry) *Acc
 // candidates, stores the result at w.Index and returns it. The per-walk
 // computation is exactly the batch pipeline's per-walk/per-path work.
 func (a *Accumulator) AddWalk(w *crawler.Walk) WalkTokens {
-	var start time.Time
+	var sw telemetry.Stopwatch
 	if a.tel != nil {
-		start = time.Now()
+		sw = telemetry.StartStopwatch()
 	}
 	wt := WalkTokens{Paths: pathsFromWalk(w, a.names)}
 	if a.tel != nil {
-		a.pathHist.Observe(time.Since(start).Microseconds())
-		start = time.Now()
+		a.pathHist.Observe(sw.ElapsedMicros())
+		sw = telemetry.StartStopwatch()
 	}
 	for _, p := range wt.Paths {
 		cs := FindCandidates(p)
@@ -138,7 +137,7 @@ func (a *Accumulator) AddWalk(w *crawler.Walk) WalkTokens {
 		wt.Candidates = append(wt.Candidates, cs...)
 	}
 	if a.tel != nil {
-		a.candHist.Observe(time.Since(start).Microseconds())
+		a.candHist.Observe(sw.ElapsedMicros())
 	}
 	a.perWalk[w.Index] = wt
 	return wt

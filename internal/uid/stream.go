@@ -6,6 +6,7 @@ import (
 
 	"crumbcruncher/internal/crawler"
 	"crumbcruncher/internal/parallel"
+	"crumbcruncher/internal/telemetry"
 	"crumbcruncher/internal/tokens"
 )
 
@@ -89,9 +90,9 @@ func (s *StreamIdentifier) AddWalk(index int, cands []*tokens.Candidate) {
 		wg.verdicts = make([]groupVerdict, len(wg.groups))
 		for i, g := range wg.groups {
 			if s.observe != nil {
-				start := time.Now()
+				sw := telemetry.StartStopwatch()
 				wg.verdicts[i] = classifyGroup(g, s.opt, s.include)
-				s.observe(time.Since(start))
+				s.observe(sw.Elapsed())
 			} else {
 				wg.verdicts[i] = classifyGroup(g, s.opt, s.include)
 			}

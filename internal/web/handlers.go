@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -215,9 +216,17 @@ func (w *World) serveClick(t *Tracker, host string, rw http.ResponseWriter, r *h
 	}
 	http.SetCookie(rw, &http.Cookie{Name: "ruid", Value: own, MaxAge: 86400 * 390})
 
-	// Harvest incoming UID parameters into first-party storage.
-	var uidParams []string
+	// Harvest incoming UID parameters into first-party storage. Query
+	// values are a map, so walk its keys sorted: Set-Cookie header order
+	// (and uidParams below) must not leak map-iteration order into the
+	// simulated responses.
+	names := make([]string, 0, len(q))
 	for name := range q {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var uidParams []string
+	for _, name := range names {
 		if w.truth.ParamKindOf(name) == ParamUID {
 			uidParams = append(uidParams, name)
 			http.SetCookie(rw, &http.Cookie{

@@ -1,6 +1,9 @@
 package web
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // ParamKind is the ground-truth classification of a query parameter.
 type ParamKind int
@@ -101,6 +104,7 @@ func (t *Truth) UIDParams() []string {
 			out = append(out, p)
 		}
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -143,5 +147,6 @@ func (t *Truth) DedicatedHosts() []string {
 	for h := range t.dedicated {
 		out = append(out, h)
 	}
+	sort.Strings(out)
 	return out
 }

@@ -1,6 +1,7 @@
 package crumbcruncher_test
 
 import (
+	"context"
 	"os"
 	"strconv"
 	"strings"
@@ -26,7 +27,7 @@ func faultyConfig(seed int64, parallel int) crumbcruncher.Config {
 
 func faultyMetricsJSON(t *testing.T, cfg crumbcruncher.Config) string {
 	t.Helper()
-	run, err := crumbcruncher.Execute(cfg)
+	run, err := crumbcruncher.NewRunner(cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestResilientCrawlDeterminism(t *testing.T) {
 // rate into transient-recovered and permanently-unreachable when the
 // crawl saw faults.
 func TestResilienceInReport(t *testing.T) {
-	run, err := crumbcruncher.Execute(faultyConfig(2, 4))
+	run, err := crumbcruncher.NewRunner(faultyConfig(2, 4)).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestFaultMatrixSmoke(t *testing.T) {
 	cfg.Walks = 30
 	cfg.World.ConnectFailRate = rate
 	cfg.Breaker = crumbcruncher.BreakerConfig{Threshold: 3}
-	run, err := crumbcruncher.Execute(cfg)
+	run, err := crumbcruncher.NewRunner(cfg).Run(context.Background())
 	if err != nil {
 		t.Fatalf("pipeline errored instead of degrading (connect-fail %v): %v", rate, err)
 	}

@@ -2,6 +2,7 @@ package crumbcruncher_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestTelemetryDoesNotPerturbResults(t *testing.T) {
 	cfg := crumbcruncher.SmallConfig()
 	cfg.Parallelism = 1
 
-	base, err := crumbcruncher.Execute(cfg)
+	base, err := crumbcruncher.NewRunner(cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestTelemetryDoesNotPerturbResults(t *testing.T) {
 
 	tcfg := cfg
 	tcfg.Telemetry = crumbcruncher.NewTelemetry()
-	traced, err := crumbcruncher.Execute(tcfg)
+	traced, err := crumbcruncher.NewRunner(tcfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestTelemetryDoesNotPerturbResults(t *testing.T) {
 			if withTel {
 				rcfg.Telemetry = crumbcruncher.NewTelemetry()
 			}
-			rerun, err := crumbcruncher.Reanalyze(rcfg, base)
+			rerun, err := crumbcruncher.NewRunner(rcfg).Reanalyze(context.Background(), base)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -73,7 +74,7 @@ func TestTraceCoversEveryLayer(t *testing.T) {
 	cfg := crumbcruncher.SmallConfig()
 	tel := crumbcruncher.NewTelemetry()
 	cfg.Telemetry = tel
-	run, err := crumbcruncher.Execute(cfg)
+	run, err := crumbcruncher.NewRunner(cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -772,45 +772,46 @@ func BenchmarkLimitationRefererSmuggling(b *testing.B) {
 // into the crawl, with peak live residency at or below batch's (both
 // engines end holding the same fully-materialized Run).
 //
-// The engines are timed alternately inside each iteration — separate
-// sub-benchmark series sit minutes apart on a busy host, and CPU steal
-// over that span swamps the effect being measured. Each engine's
-// wall-clock and averaged peak residency are reported as metrics;
-// scripts/bench.sh archives them in BENCH_pr4.json.
+// Each engine runs as its own sub-benchmark (stream/batch), so ns/op,
+// B/op and allocs/op are attributable to one engine — the previous
+// shape ran both engines inside every iteration, and the headline
+// ns/op double-counted while the memory columns summed two engines.
+// Peak live residency is still reported per engine as a metric;
+// scripts/bench.sh archives the series in BENCH_*.json.
 func BenchmarkExecuteStreaming(b *testing.B) {
 	base := crumbcruncher.SmallConfig()
 	base.Walks = 120
+	engines := []struct {
+		name  string
+		batch bool
+	}{
+		{"stream", false},
+		{"batch", true},
+	}
 	for _, par := range []int{1, 4} {
-		b.Run(fmt.Sprintf("parallelism-%d", par), func(b *testing.B) {
-			one := func(batchMode bool) (elapsedNS, peakMB float64) {
+		for _, eng := range engines {
+			b.Run(fmt.Sprintf("parallelism-%d/%s", par, eng.name), func(b *testing.B) {
 				cfg := base
 				cfg.Parallelism = par
-				cfg.BatchAnalysis = batchMode
-				runtime.GC()
-				w := newHeapWatermark()
-				start := time.Now()
-				if _, err := crumbcruncher.NewRunner(cfg).Run(context.Background()); err != nil {
-					b.Fatal(err)
+				cfg.BatchAnalysis = eng.batch
+				var peak float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					runtime.GC()
+					w := newHeapWatermark()
+					b.StartTimer()
+					if _, err := crumbcruncher.NewRunner(cfg).Run(context.Background()); err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					peak += w.stop()
+					b.StartTimer()
 				}
-				return float64(time.Since(start).Nanoseconds()), w.stop()
-			}
-			var streamNS, batchNS, streamPeak, batchPeak float64
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				ns, pk := one(false)
-				streamNS += ns
-				streamPeak += pk
-				ns, pk = one(true)
-				batchNS += ns
-				batchPeak += pk
-			}
-			b.StopTimer()
-			n := float64(b.N)
-			b.ReportMetric(streamNS/n/1e6, "stream-ms")
-			b.ReportMetric(batchNS/n/1e6, "batch-ms")
-			b.ReportMetric(streamPeak/n, "stream-peak-heap-MB")
-			b.ReportMetric(batchPeak/n, "batch-peak-heap-MB")
-		})
+				b.StopTimer()
+				b.ReportMetric(peak/float64(b.N), "peak-heap-MB")
+			})
+		}
 	}
 }
 

@@ -148,7 +148,8 @@ func (c *Controller) decide(walk, step int, lists map[string][]Element) map[stri
 			crossAnchors = append(crossAnchors, m)
 		}
 	}
-	rng := stats.NewRNG(c.split.Seed(fmt.Sprintf("pick/%d/%d", walk, step)))
+	rng := stats.AcquireRNG(c.split.Seed(fmt.Sprintf("pick/%d/%d", walk, step)))
+	defer rng.Release()
 	var chosen MatchTriple
 	switch {
 	case len(iframes) > 0 && (len(crossAnchors) == 0 || rng.Bool(c.iframeBias)):

@@ -133,7 +133,8 @@ func pickSequential(cfg Config, split *stats.Splitter, walk, step int, b *browse
 			cross = append(cross, c.Index)
 		}
 	}
-	rng := stats.NewRNG(split.Seed(fmt.Sprintf("pick/%d/%d", walk, step)))
+	rng := stats.AcquireRNG(split.Seed(fmt.Sprintf("pick/%d/%d", walk, step)))
+	defer rng.Release()
 	switch {
 	case len(iframes) > 0 && (len(cross) == 0 || rng.Bool(cfg.IframeBias)):
 		return iframes[rng.Intn(len(iframes))]

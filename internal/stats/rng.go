@@ -11,6 +11,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // splitmix64 advances a SplitMix64 state and returns the next output.
@@ -22,6 +23,17 @@ func splitmix64(state uint64) (next uint64, out uint64) {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return state, z ^ (z >> 31)
+}
+
+// rngPool recycles rand.Rand instances. The stock rand.NewSource
+// allocates a 607-word (~4.9KB) lagged-Fibonacci state per instance, and
+// CrumbCruncher creates RNGs by the hundred-thousand (two per page
+// render) — source construction was one of the largest allocation sites
+// in a crawl. Re-seeding a pooled source deterministically resets its
+// entire state, so a pooled RNG's stream is byte-identical to a fresh
+// NewRNG's: pooling changes allocation counts, never output.
+var rngPool = sync.Pool{
+	New: func() any { return rand.New(rand.NewSource(0)) },
 }
 
 // DeriveSeed deterministically mixes a parent seed with a label so that
@@ -51,6 +63,25 @@ type RNG struct {
 // NewRNG returns an RNG seeded with seed.
 func NewRNG(seed int64) *RNG {
 	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// AcquireRNG returns an RNG re-seeded from the pool, stream-identical to
+// NewRNG(seed). Callers that can bound the RNG's lifetime should pair it
+// with Release on every path; callers that can't should use NewRNG.
+func AcquireRNG(seed int64) *RNG {
+	r := rngPool.Get().(*rand.Rand)
+	r.Seed(seed)
+	return &RNG{r: r}
+}
+
+// Release returns the RNG's source to the pool. The RNG must not be used
+// afterwards (any use panics). Safe to call on a NewRNG-built RNG too —
+// its source simply joins the pool.
+func (g *RNG) Release() {
+	if g.r != nil {
+		rngPool.Put(g.r)
+		g.r = nil
+	}
 }
 
 // Splitter derives independent RNGs from a root seed by label.

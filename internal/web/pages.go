@@ -39,10 +39,12 @@ var adSizes = [][2]int{{300, 250}, {728, 90}, {160, 600}, {336, 280}}
 // paper's static/dynamic smuggling distinction and its synchronization
 // failures.
 func (w *World) buildPage(s *Site, path string, v visitor) *dom.Node {
-	srng := stats.NewRNG(w.split.Child("page").Child(s.Domain).Seed(path))
+	srng := stats.AcquireRNG(w.split.Child("page").Child(s.Domain).Seed(path))
+	defer srng.Release()
 	loadN := w.visit(ident.Join("load", v.client, s.Domain, path))
-	drng := stats.NewRNG(stats.DeriveSeed(w.cfg.Seed,
+	drng := stats.AcquireRNG(stats.DeriveSeed(w.cfg.Seed,
 		ident.Join("dyn", s.Domain, path, v.client, strconv.Itoa(loadN))))
+	defer drng.Release()
 	volatile := srng.Bool(w.cfg.PVolatilePage)
 	sess := ident.SessionID(w.cfg.Seed, s.Domain, v.client, strconv.Itoa(loadN))
 

@@ -273,9 +273,15 @@ func (b *Browser) fetch(u *url.URL, referer string, kind RequestKind) (*http.Res
 // fetchCtx is fetch with an explicit storage context (used for iframe and
 // beacon subrequests, whose cookie access is third-party).
 func (b *Browser) fetchCtx(u *url.URL, referer string, kind RequestKind, ctx storage.Context) (*http.Response, error) {
-	req, err := http.NewRequest(http.MethodGet, u.String(), nil)
-	if err != nil {
-		return nil, err
+	// Build the request directly: http.NewRequest would re-parse the URL
+	// string we already hold parsed. The URL struct is copied so neither
+	// handlers nor the transport can alias the caller's value.
+	reqURL := *u
+	req := &http.Request{
+		Method: http.MethodGet,
+		URL:    &reqURL,
+		Header: make(http.Header, 8),
+		Host:   u.Host,
 	}
 	req.Header.Set("User-Agent", b.cfg.UserAgent)
 	req.Header.Set(HeaderProfile, b.cfg.ProfileID)

@@ -28,6 +28,12 @@ type Page struct {
 	// refererDecorators decorate the Referer header of outgoing
 	// navigations rather than their URLs (the §6 limitation).
 	refererDecorators []linkDecorator
+
+	// clickables memoizes Clickables: the document never changes after
+	// load, and ClickURL re-enumerates for every click, so computing
+	// attribute names and x-paths twice per step was pure overhead.
+	clickables     []Clickable
+	clickablesDone bool
 }
 
 // Frame is a loaded iframe document.
@@ -64,7 +70,12 @@ type Clickable struct {
 }
 
 // Clickables enumerates the page's candidate elements in document order.
+// The result is memoized on the page (which is immutable after load);
+// callers must not modify the returned slice.
 func (b *Browser) Clickables(p *Page) []Clickable {
+	if p.clickablesDone {
+		return p.clickables
+	}
 	var out []Clickable
 	add := func(kind string, n *dom.Node) {
 		c := Clickable{
@@ -90,6 +101,7 @@ func (b *Browser) Clickables(p *Page) []Clickable {
 			add("iframe", n)
 		}
 	}
+	p.clickables, p.clickablesDone = out, true
 	return out
 }
 

@@ -10,6 +10,7 @@ package dom
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -95,9 +96,16 @@ func (n *Node) AttrNames() []string {
 	return names
 }
 
-// AppendChild adds c as the last child of n and sets its parent.
+// AppendChild adds c as the last child of n and sets its parent. The
+// child slice starts at capacity 4: growing 1→2→4 cost three heap
+// objects per parent across the document, and parents with more than a
+// couple of children are the common case in both parsed and generated
+// trees.
 func (n *Node) AppendChild(c *Node) {
 	c.Parent = n
+	if n.Children == nil {
+		n.Children = make([]*Node, 0, 4)
+	}
 	n.Children = append(n.Children, c)
 }
 
@@ -167,6 +175,11 @@ func (n *Node) InnerText() string {
 // /html[1]/body[1]/div[2]/a[1]. Positions count same-tag siblings only,
 // matching what browser devtools produce and what the paper's controller
 // compares.
+//
+// The path is assembled in stack buffers and allocates only the final
+// string — it runs once per candidate element per page snapshot, where
+// the earlier Sprintf-per-segment version was the crawl's single largest
+// allocation site.
 func (n *Node) XPath() string {
 	if n.Type != ElementNode {
 		if n.Parent != nil {
@@ -174,8 +187,16 @@ func (n *Node) XPath() string {
 		}
 		return ""
 	}
-	var parts []string
+	// Collect the ancestor chain; document order is the reverse.
+	var stack [32]*Node
+	chain := stack[:0]
 	for e := n; e != nil && e.Type == ElementNode && e.Tag != "#document"; e = e.Parent {
+		chain = append(chain, e)
+	}
+	var buf [128]byte
+	out := buf[:0]
+	for i := len(chain) - 1; i >= 0; i-- {
+		e := chain[i]
 		pos := 1
 		if e.Parent != nil {
 			for _, sib := range e.Parent.Children {
@@ -187,13 +208,13 @@ func (n *Node) XPath() string {
 				}
 			}
 		}
-		parts = append(parts, fmt.Sprintf("%s[%d]", e.Tag, pos))
+		out = append(out, '/')
+		out = append(out, e.Tag...)
+		out = append(out, '[')
+		out = strconv.AppendInt(out, int64(pos), 10)
+		out = append(out, ']')
 	}
-	// Reverse.
-	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
-		parts[i], parts[j] = parts[j], parts[i]
-	}
-	return "/" + strings.Join(parts, "/")
+	return string(out)
 }
 
 // NewElement constructs an element node with alternating attribute
@@ -204,8 +225,11 @@ func NewElement(tag string, attrPairs ...string) *Node {
 		panic("dom: NewElement attrPairs must be name/value pairs")
 	}
 	n := &Node{Type: ElementNode, Tag: strings.ToLower(tag)}
-	for i := 0; i < len(attrPairs); i += 2 {
-		n.Attrs = append(n.Attrs, Attr{Name: attrPairs[i], Value: attrPairs[i+1]})
+	if len(attrPairs) > 0 {
+		n.Attrs = make([]Attr, 0, len(attrPairs)/2)
+		for i := 0; i < len(attrPairs); i += 2 {
+			n.Attrs = append(n.Attrs, Attr{Name: attrPairs[i], Value: attrPairs[i+1]})
+		}
 	}
 	return n
 }

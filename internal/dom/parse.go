@@ -11,6 +11,29 @@ var voidElements = map[string]bool{
 	"source": true, "track": true, "wbr": true,
 }
 
+// nodeArena hands out tree nodes in blocks so parsing a page costs one
+// heap object per arenaBlock nodes instead of one per node (the parser
+// was the crawl's densest source of small allocations). Nodes in a
+// block share a backing array, so a single retained node keeps its
+// whole block alive — fine here, because the crawler discards pages
+// wholesale. The arena is per-Parse call, never pooled or shared:
+// trees built from it are identical to individually-allocated ones in
+// every observable way.
+type nodeArena struct{ blk []Node }
+
+// arenaOverflowBlock sizes the blocks handed out after the initial
+// estimate (see Parse) runs dry.
+const arenaOverflowBlock = 32
+
+func (a *nodeArena) node() *Node {
+	if len(a.blk) == 0 {
+		a.blk = make([]Node, arenaOverflowBlock)
+	}
+	n := &a.blk[0]
+	a.blk = a.blk[1:]
+	return n
+}
+
 // Parse parses an HTML document into a tree rooted at a synthetic
 // #document node. The parser accepts the well-formed subset the synthetic
 // web emits and degrades gracefully on the rest: unknown entities pass
@@ -18,7 +41,19 @@ var voidElements = map[string]bool{
 // at end of input. Parse never fails; like a browser, it always produces a
 // tree.
 func Parse(html string) *Node {
-	root := &Node{Type: ElementNode, Tag: "#document"}
+	// Every node begins at a '<' (open tag, comment) or follows one
+	// (text run), and close tags consume a '<' without producing a
+	// node, so the '<' count is a tight upper bound on the node count.
+	// One counting pass sizes the arena's first block so a typical
+	// document costs a single node allocation with little slack.
+	arena := nodeArena{blk: make([]Node, strings.Count(html, "<")+2)}
+	newText := func(text string) *Node {
+		n := arena.node()
+		n.Type, n.Text = TextNode, text
+		return n
+	}
+	root := arena.node()
+	root.Type, root.Tag = ElementNode, "#document"
 	stack := []*Node{root}
 	top := func() *Node { return stack[len(stack)-1] }
 
@@ -32,7 +67,7 @@ func Parse(html string) *Node {
 			}
 			text := html[i : i+j]
 			if strings.TrimSpace(text) != "" {
-				top().AppendChild(NewText(decodeEntities(text)))
+				top().AppendChild(newText(decodeEntities(text)))
 			}
 			i += j
 			continue
@@ -41,10 +76,14 @@ func Parse(html string) *Node {
 		if strings.HasPrefix(html[i:], "<!--") {
 			end := strings.Index(html[i+4:], "-->")
 			if end < 0 {
-				top().AppendChild(&Node{Type: CommentNode, Text: html[i+4:]})
+				c := arena.node()
+				c.Type, c.Text = CommentNode, html[i+4:]
+				top().AppendChild(c)
 				break
 			}
-			top().AppendChild(&Node{Type: CommentNode, Text: html[i+4 : i+4+end]})
+			c := arena.node()
+			c.Type, c.Text = CommentNode, html[i+4:i+4+end]
+			top().AppendChild(c)
 			i += 4 + end + 3
 			continue
 		}
@@ -85,7 +124,7 @@ func Parse(html string) *Node {
 		if selfClose {
 			raw = strings.TrimSuffix(raw, "/")
 		}
-		el := parseTag(raw)
+		el := parseTag(raw, &arena)
 		if el == nil {
 			continue
 		}
@@ -95,11 +134,11 @@ func Parse(html string) *Node {
 			closer := "</" + el.Tag
 			idx := strings.Index(strings.ToLower(html[i:]), closer)
 			if idx < 0 {
-				el.AppendChild(NewText(html[i:]))
+				el.AppendChild(newText(html[i:]))
 				break
 			}
 			if idx > 0 {
-				el.AppendChild(NewText(html[i : i+idx]))
+				el.AppendChild(newText(html[i : i+idx]))
 			}
 			gt := strings.IndexByte(html[i+idx:], '>')
 			if gt < 0 {
@@ -115,8 +154,9 @@ func Parse(html string) *Node {
 	return root
 }
 
-// parseTag parses "name attr=val attr2="v2" flag" into an element.
-func parseTag(raw string) *Node {
+// parseTag parses "name attr=val attr2="v2" flag" into an element
+// allocated from the parse arena.
+func parseTag(raw string, a *nodeArena) *Node {
 	raw = strings.TrimSpace(raw)
 	if raw == "" {
 		return nil
@@ -125,7 +165,8 @@ func parseTag(raw string) *Node {
 	for nameEnd < len(raw) && !isSpace(raw[nameEnd]) {
 		nameEnd++
 	}
-	el := &Node{Type: ElementNode, Tag: strings.ToLower(raw[:nameEnd])}
+	el := a.node()
+	el.Type, el.Tag = ElementNode, strings.ToLower(raw[:nameEnd])
 	rest := raw[nameEnd:]
 	for {
 		rest = strings.TrimLeft(rest, " \t\r\n")

@@ -19,14 +19,14 @@
 package netsim
 
 import (
+	"bytes"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
-	"net/http/httptest"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -310,24 +310,96 @@ func (n *Network) RoundTrip(req *http.Request) (*http.Response, error) {
 		// injected 502/503 carrying a Retry-After hint and a truncated
 		// body — the handler is never consulted.
 		n.degradedResps.Inc()
-		rec := httptest.NewRecorder()
+		rec := recorderPool.Get().(*recorder)
 		if ft.RetryAfter > 0 {
 			rec.Header().Set("Retry-After", strconv.Itoa(int(ft.RetryAfter/time.Second)))
 		}
 		rec.WriteHeader(ft.Status)
 		io.WriteString(rec, http.StatusText(ft.Status))
-		resp := rec.Result()
-		resp.Request = req
+		resp := rec.response(req)
 		sp.Attr("fault", "degraded").Attr("status", strconv.Itoa(ft.Status)).End()
 		return resp, nil
 	}
 
-	rec := httptest.NewRecorder()
+	rec := recorderPool.Get().(*recorder)
 	handler.ServeHTTP(rec, req)
-	resp := rec.Result()
-	resp.Request = req
+	resp := rec.response(req)
 	sp.Attr("status", strconv.Itoa(resp.StatusCode)).End()
 	return resp, nil
+}
+
+// recorderPool recycles the per-request response recorders. The body
+// buffer is the valuable part: handlers render multi-kilobyte pages into
+// it, and a recycled buffer reaches its high-water capacity once and
+// then serves every later request without growing. The reset contract
+// (DESIGN.md §10): response() copies the body out and detaches the
+// header map before the recorder returns to the pool, so a pooled
+// recorder is indistinguishable from a fresh one.
+var recorderPool = sync.Pool{New: func() any { return new(recorder) }}
+
+// recorder is a minimal in-process http.ResponseWriter. It replaces
+// httptest.NewRecorder on the round-trip hot path: the httptest version
+// allocates a fresh recorder and body buffer per request and its
+// Result() clones the header map; this one recycles through
+// recorderPool and hands the handler-built header to the response
+// as-is.
+type recorder struct {
+	code   int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func (r *recorder) Header() http.Header {
+	if r.header == nil {
+		r.header = make(http.Header, 4)
+	}
+	return r.header
+}
+
+func (r *recorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+
+func (r *recorder) Write(p []byte) (int, error) {
+	r.WriteHeader(http.StatusOK)
+	return r.body.Write(p)
+}
+
+func (r *recorder) WriteString(s string) (int, error) {
+	r.WriteHeader(http.StatusOK)
+	return r.body.WriteString(s)
+}
+
+// response snapshots the recorded state into an *http.Response and
+// returns the recorder to the pool. The body is copied exactly once
+// (the pooled buffer must not escape); the header map moves to the
+// response uncloned, so the recorder forgets it.
+func (r *recorder) response(req *http.Request) *http.Response {
+	code := r.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	h := r.header
+	if h == nil {
+		h = make(http.Header)
+	}
+	body := append([]byte(nil), r.body.Bytes()...)
+	r.code, r.header = 0, nil
+	r.body.Reset()
+	recorderPool.Put(r)
+	return &http.Response{
+		Status:        strconv.Itoa(code) + " " + http.StatusText(code),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
 }
 
 // Client returns an *http.Client backed by this network that does NOT
@@ -351,14 +423,21 @@ func hostOnly(hostport string) string {
 }
 
 // ReadBody fully reads and closes a response body. It is tolerant of nil
-// responses for use in error paths.
+// responses for use in error paths. Bodies from this network are
+// bytes.Readers, whose WriteTo hands io.Copy the whole payload in one
+// call — the builder allocates exactly once instead of io.ReadAll's
+// doubling chain plus a final string copy.
 func ReadBody(resp *http.Response) (string, error) {
 	if resp == nil || resp.Body == nil {
 		return "", nil
 	}
 	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	return string(b), err
+	var sb strings.Builder
+	if resp.ContentLength > 0 {
+		sb.Grow(int(resp.ContentLength))
+	}
+	_, err := io.Copy(&sb, resp.Body)
+	return sb.String(), err
 }
 
 // FaultConfig describes the full fault model. The zero value injects
@@ -537,7 +616,10 @@ func (f *FaultInjector) Check(host string) error {
 // TransientFails returns how many leading attempts of a retry sequence
 // fail for host's domain (0: the domain is not transient).
 func (f *FaultInjector) TransientFails(host string) int {
-	domain := f.domainOf(host)
+	return f.transientFails(f.domainOf(host))
+}
+
+func (f *FaultInjector) transientFails(domain string) int {
 	if f.exempt[domain] || !f.in(domain, saltTransient, f.cfg.TransientRate) {
 		return 0
 	}
@@ -547,7 +629,10 @@ func (f *FaultInjector) TransientFails(host string) int {
 // DegradeFails returns how many leading attempts are answered with an
 // injected 502/503 for host's domain (0: never degraded).
 func (f *FaultInjector) DegradeFails(host string) int {
-	domain := f.domainOf(host)
+	return f.degradeFails(f.domainOf(host))
+}
+
+func (f *FaultInjector) degradeFails(domain string) int {
 	if f.exempt[domain] || !f.in(domain, saltDegrade, f.cfg.DegradeRate) {
 		return 0
 	}
@@ -565,6 +650,8 @@ func (f *FaultInjector) Spiky(host string) bool {
 // host. Classes are checked in severity order — permanent outage, then
 // transient transport error, then HTTP degradation, then latency spike —
 // and the decision is a pure function of (registered domain, attempt).
+// The registered domain is resolved exactly once per call; it previously
+// was recomputed by every per-class helper, up to four times per request.
 func (f *FaultInjector) At(host string, attempt int) Fault {
 	domain := f.domainOf(host)
 	if f.exempt[domain] {
@@ -573,10 +660,10 @@ func (f *FaultInjector) At(host string, attempt int) Fault {
 	if f.in(domain, saltPermanent, f.cfg.ConnectFailRate) {
 		return Fault{Err: f.flavour(domain)}
 	}
-	if k := f.TransientFails(host); attempt < k {
+	if k := f.transientFails(domain); attempt < k {
 		return Fault{Err: f.flavour(domain)}
 	}
-	if k := f.DegradeFails(host); attempt < k {
+	if k := f.degradeFails(domain); attempt < k {
 		status := http.StatusBadGateway
 		if f.hash(domain, saltDegradeStatus)%2 == 1 {
 			status = http.StatusServiceUnavailable
@@ -584,25 +671,35 @@ func (f *FaultInjector) At(host string, attempt int) Fault {
 		retryAfter := time.Duration(1+f.hash(domain, saltRetryAfter)%3) * time.Second
 		return Fault{Status: status, RetryAfter: retryAfter}
 	}
-	if attempt == 0 && f.Spiky(host) {
+	if attempt == 0 && f.in(domain, saltSpike, f.cfg.SpikeRate) {
 		return Fault{ExtraLatency: f.cfg.SpikeLatency}
 	}
 	return Fault{}
 }
 
+// hash is FNV-1a over (seed, salt, domain), computed inline: the
+// hash/fnv object allocated per call in a path hit once per request.
+// The byte order matches the previous fnv.New64a implementation, so
+// fault populations are unchanged.
 func (f *FaultInjector) hash(domain string, salt uint64) uint64 {
-	h := fnv.New64a()
-	var b [8]byte
-	for i := range b {
-		b[i] = byte(f.seed >> (8 * i))
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(f.seed >> (8 * i)))
+		h *= prime64
 	}
-	h.Write(b[:])
-	for i := range b {
-		b[i] = byte(salt >> (8 * i))
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(salt >> (8 * i)))
+		h *= prime64
 	}
-	h.Write(b[:])
-	h.Write([]byte(domain))
-	return h.Sum64()
+	for i := 0; i < len(domain); i++ {
+		h ^= uint64(domain[i])
+		h *= prime64
+	}
+	return h
 }
 
 // timeoutError mimics a dial timeout; it satisfies net.Error.

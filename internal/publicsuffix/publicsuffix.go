@@ -80,50 +80,64 @@ func Compile(rules []string) (*List, error) {
 
 // PublicSuffix returns the public suffix of host. Per the PSL algorithm, a
 // host that matches no rule has its last label as its public suffix.
+//
+// Every candidate suffix is a substring of the (normalized) host, so the
+// scan allocates nothing — this sits under every registered-domain and
+// same-site check in the pipeline, where the previous Split/Join pass was
+// a top allocation site.
 func (l *List) PublicSuffix(host string) string {
 	host = normalize(host)
 	if host == "" {
 		return ""
 	}
-	labels := strings.Split(host, ".")
-	// Find the longest matching rule, scanning suffixes from longest to
-	// shortest so the first hit wins.
-	for i := 0; i < len(labels); i++ {
-		candidate := strings.Join(labels[i:], ".")
+	// Find the longest matching rule, scanning label-boundary suffixes
+	// from longest (whole host) to shortest so the first hit wins.
+	for i := 0; ; {
+		candidate := host[i:]
 		if l.exceptions[candidate] {
 			// Exception rules mark the candidate itself as registrable:
 			// its public suffix is one label shorter.
-			return strings.Join(labels[i+1:], ".")
+			if j := strings.IndexByte(candidate, '.'); j >= 0 {
+				return candidate[j+1:]
+			}
+			return ""
 		}
 		if l.rules[candidate] {
 			return candidate
 		}
-		// Wildcard *.<base> matches <label>.<base>.
-		if i+1 < len(labels) {
-			base := strings.Join(labels[i+1:], ".")
-			if l.wildcards[base] {
-				return candidate
-			}
+		j := strings.IndexByte(candidate, '.')
+		if j < 0 {
+			// Last label, no rule matched: the default PSL "*" rule.
+			return candidate
 		}
+		// Wildcard *.<base> matches <label>.<base>.
+		if l.wildcards[candidate[j+1:]] {
+			return candidate
+		}
+		i += j + 1
 	}
-	return labels[len(labels)-1]
 }
 
 // RegisteredDomain returns the eTLD+1 for host: the public suffix plus one
 // label. It returns "" if host is itself a public suffix (nothing is
-// registrable) or empty.
+// registrable) or empty. The result is a substring of the normalized
+// host — no allocation.
 func (l *List) RegisteredDomain(host string) string {
 	host = normalize(host)
 	if host == "" {
 		return ""
 	}
 	suffix := l.PublicSuffix(host)
-	if suffix == host || suffix == "" {
+	if suffix == "" || len(suffix) >= len(host) {
 		return ""
 	}
-	rest := strings.TrimSuffix(host, "."+suffix)
-	labels := strings.Split(rest, ".")
-	return labels[len(labels)-1] + "." + suffix
+	// PublicSuffix returns a suffix substring of host, so everything
+	// before it (minus the joining dot) is the registrable part.
+	rest := host[:len(host)-len(suffix)-1]
+	if j := strings.LastIndexByte(rest, '.'); j >= 0 {
+		return host[j+1:]
+	}
+	return host
 }
 
 // SameSite reports whether two hosts share a registered domain — the

@@ -112,7 +112,7 @@ func executeStreaming(ctx context.Context, cfg Config, world *web.World) (*Run, 
 		}
 	}
 
-	acc := tokens.NewAccumulator(walks, crawler.AllCrawlers, tel)
+	acc := tokens.NewAccumulator(cfg.World.Seed, walks, crawler.AllCrawlers, tel)
 	lifeAcc := uid.NewLifetimeAccumulator(walks)
 	opt := cfg.Identify
 	if opt.Parallelism == 0 {

@@ -4,8 +4,10 @@ import (
 	"context"
 	"net/url"
 	"sort"
+	"sync"
 
 	"crumbcruncher/internal/crawler"
+	"crumbcruncher/internal/intern"
 	"crumbcruncher/internal/parallel"
 	"crumbcruncher/internal/publicsuffix"
 	"crumbcruncher/internal/telemetry"
@@ -66,15 +68,24 @@ func (p *Path) DomainKey() string {
 }
 
 // nodeFrom parses a URL into a PathNode with extracted query tokens.
-func nodeFrom(raw string) (PathNode, bool) {
+// Hosts, registered domains and token names repeat across nearly every
+// hop, so they are routed through the run's interner: Host and Domain
+// would otherwise be substrings pinning the full URL string, and each
+// token name its own small allocation.
+func nodeFrom(raw string, in *intern.Interner) (PathNode, bool) {
 	u, err := url.Parse(raw)
 	if err != nil || u.Host == "" {
 		return PathNode{}, false
 	}
-	n := PathNode{URL: raw, Host: u.Hostname(), Domain: regDomain(u.Hostname())}
+	host := in.Intern(u.Hostname())
+	n := PathNode{URL: raw, Host: host, Domain: in.Intern(regDomain(host))}
 	for name, vs := range u.Query() {
 		for _, v := range vs {
+			start := len(n.Tokens)
 			n.Tokens = append(n.Tokens, Extract(name, v)...)
+			for i := start; i < len(n.Tokens); i++ {
+				n.Tokens[i].Name = in.Intern(n.Tokens[i].Name)
+			}
 		}
 	}
 	sort.Slice(n.Tokens, func(i, j int) bool {
@@ -129,9 +140,12 @@ func PathsFromDatasetCtx(ctx context.Context, ds *crawler.Dataset, parallelism i
 		names = crawler.AllCrawlers
 	}
 	reg := tel.Registry()
+	// One interner per entry-point call: canonical strings are shared
+	// across this dataset's walks but never across runs.
+	in := intern.New(ds.Seed)
 	perWalk := make([][]*Path, len(ds.Walks))
 	err := parallel.ForEachTimedCtx(ctx, len(ds.Walks), parallelism, func(i int) {
-		perWalk[i] = pathsFromWalk(ds.Walks[i], names)
+		perWalk[i] = pathsFromWalk(ds.Walks[i], names, in)
 	}, reg.Histogram("tokens.path_shard_us").Microseconds())
 	if err != nil {
 		return nil, err
@@ -150,7 +164,7 @@ func PathsFromDatasetCtx(ctx context.Context, ds *crawler.Dataset, parallelism i
 
 // pathsFromWalk reconstructs one walk's navigation paths in (step,
 // crawler) order.
-func pathsFromWalk(w *crawler.Walk, names []string) []*Path {
+func pathsFromWalk(w *crawler.Walk, names []string, in *intern.Interner) []*Path {
 	var out []*Path
 	if w == nil {
 		return nil
@@ -162,14 +176,15 @@ func pathsFromWalk(w *crawler.Walk, names []string) []*Path {
 				continue
 			}
 			p := &Path{Walk: w.Index, Step: s.Index, Crawler: name, Profile: rec.Profile}
-			if n, ok := nodeFrom(rec.StartURL); ok {
+			if n, ok := nodeFrom(rec.StartURL, in); ok {
+				p.Nodes = make([]PathNode, 0, 1+len(rec.NavChain))
 				p.Nodes = append(p.Nodes, n)
 			} else {
 				continue
 			}
 			bad := false
 			for _, hop := range rec.NavChain {
-				n, ok := nodeFrom(hop.URL)
+				n, ok := nodeFrom(hop.URL, in)
 				if !ok {
 					bad = true
 					break
@@ -207,24 +222,35 @@ type Candidate struct {
 	Crossings int
 }
 
+// candMapPool recycles FindCandidates' per-path scratch map. The reset
+// contract (see DESIGN.md §10): a map returned to the pool is cleared
+// first, so a pooled map is indistinguishable from a fresh one and
+// pooling can only change allocation counts, never output.
+var candMapPool = sync.Pool{
+	New: func() any { return make(map[Pair]*Candidate, 16) },
+}
+
 // FindCandidates scans a path for tokens transferred across first-party
 // contexts: a token counts when it appears in the query parameters of a
 // hop whose registered domain differs from the previous hop's (§3.6). A
 // token that appears on consecutive same-domain hops only is discarded,
 // as are tokens never passed as query parameters at all.
 func FindCandidates(p *Path) []*Candidate {
-	found := make(map[string]*Candidate) // name\x00value → candidate
+	found := candMapPool.Get().(map[Pair]*Candidate)
+	defer func() {
+		clear(found)
+		candMapPool.Put(found)
+	}()
 	for i, node := range p.Nodes {
 		for _, tok := range node.Tokens {
-			key := tok.Name + "\x00" + tok.Value
-			c := found[key]
+			c := found[tok]
 			if c == nil {
 				c = &Candidate{
 					Name: tok.Name, Value: tok.Value,
 					Walk: p.Walk, Step: p.Step, Crawler: p.Crawler, Profile: p.Profile,
 					Path: p, FirstIdx: i, LastIdx: i,
 				}
-				found[key] = c
+				found[tok] = c
 			}
 			c.LastIdx = i
 			if i > 0 && p.Nodes[i].Domain != p.Nodes[i-1].Domain {
@@ -232,7 +258,7 @@ func FindCandidates(p *Path) []*Candidate {
 			}
 		}
 	}
-	var out []*Candidate
+	out := make([]*Candidate, 0, len(found))
 	for _, c := range found {
 		if c.Crossings > 0 {
 			out = append(out, c)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"crumbcruncher/internal/crawler"
+	"crumbcruncher/internal/intern"
 	"crumbcruncher/internal/telemetry"
 )
 
@@ -94,6 +95,7 @@ func (wt *WalkTokens) UnmarshalJSON(data []byte) error {
 type Accumulator struct {
 	names       []string
 	tel         *telemetry.Telemetry
+	in          *intern.Interner
 	pathHist    *telemetry.Histogram
 	candHist    *telemetry.Histogram
 	perPathHist *telemetry.Histogram
@@ -101,8 +103,10 @@ type Accumulator struct {
 }
 
 // NewAccumulator sizes an accumulator for the given walk count.
-// crawlers defaults to all four.
-func NewAccumulator(walks int, crawlers []string, tel *telemetry.Telemetry) *Accumulator {
+// crawlers defaults to all four. seed salts the accumulator's private
+// string interner (shared by this accumulator's walks, never across
+// runs); it does not influence results.
+func NewAccumulator(seed int64, walks int, crawlers []string, tel *telemetry.Telemetry) *Accumulator {
 	names := crawlers
 	if len(names) == 0 {
 		names = crawler.AllCrawlers
@@ -111,6 +115,7 @@ func NewAccumulator(walks int, crawlers []string, tel *telemetry.Telemetry) *Acc
 	return &Accumulator{
 		names:       names,
 		tel:         tel,
+		in:          intern.New(seed),
 		pathHist:    reg.Histogram("tokens.path_shard_us"),
 		candHist:    reg.Histogram("tokens.candidate_shard_us"),
 		perPathHist: reg.Histogram("tokens.candidates_per_path"),
@@ -126,7 +131,7 @@ func (a *Accumulator) AddWalk(w *crawler.Walk) WalkTokens {
 	if a.tel != nil {
 		sw = telemetry.StartStopwatch()
 	}
-	wt := WalkTokens{Paths: pathsFromWalk(w, a.names)}
+	wt := WalkTokens{Paths: pathsFromWalk(w, a.names, a.in)}
 	if a.tel != nil {
 		a.pathHist.Observe(sw.ElapsedMicros())
 		sw = telemetry.StartStopwatch()

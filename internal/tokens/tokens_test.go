@@ -153,7 +153,7 @@ func TestManualReview(t *testing.T) {
 func samplePath(t *testing.T) *Path {
 	t.Helper()
 	mk := func(raw string) PathNode {
-		n, ok := nodeFrom(raw)
+		n, ok := nodeFrom(raw, nil)
 		if !ok {
 			t.Fatalf("bad node %q", raw)
 		}
@@ -221,7 +221,7 @@ func TestFindCandidatesCrossContext(t *testing.T) {
 
 func TestFindCandidatesSameSiteOnly(t *testing.T) {
 	mk := func(raw string) PathNode {
-		n, _ := nodeFrom(raw)
+		n, _ := nodeFrom(raw, nil)
 		return n
 	}
 	p := &Path{Nodes: []PathNode{

@@ -65,6 +65,15 @@ type Config struct {
 	// RequestDeadline, when > 0, makes the virtual network time out any
 	// request whose latency (including injected spikes) would exceed it.
 	RequestDeadline time.Duration `json:"request_deadline,omitempty"`
+	// ControllerHTTP routes crawler↔controller rendezvous over the
+	// paper-faithful loopback HTTP server instead of direct in-process
+	// calls. The controller's decisions are a pure function of the
+	// submitted element lists either way, so results are bit-identical;
+	// the HTTP transport only adds a real TCP connection, JSON encode /
+	// decode and header churn per step, which profiles showed as a top
+	// allocation source. Off by default; turn it on to exercise the
+	// deployment shape the paper describes (§3.1).
+	ControllerHTTP bool `json:"controller_http,omitempty"`
 	// BatchAnalysis restores the pre-streaming two-phase execution:
 	// crawl the complete dataset first, then run the post-crawl stages
 	// over it. The default (false) streams each walk through token
@@ -187,19 +196,20 @@ func (cfg Config) walkCount(world *web.World) int {
 // field docs) must pass through here rather than being hard-coded.
 func (cfg Config) crawlConfig(world *web.World) crawler.Config {
 	return crawler.Config{
-		Seed:         cfg.World.Seed,
-		Network:      world.Network(),
-		Seeders:      world.Seeders(),
-		Walks:        cfg.Walks,
-		StepsPerWalk: cfg.StepsPerWalk,
-		Parallelism:  cfg.Parallelism,
-		IframeBias:   cfg.IframeBias,
-		NoIframes:    cfg.NoIframes,
-		Machines:     cfg.Machines,
-		Telemetry:    cfg.Telemetry,
-		Retry:        cfg.Retry,
-		Breaker:      cfg.Breaker,
-		Checkpoint:   cfg.Checkpoint,
+		Seed:             cfg.World.Seed,
+		Network:          world.Network(),
+		Seeders:          world.Seeders(),
+		Walks:            cfg.Walks,
+		StepsPerWalk:     cfg.StepsPerWalk,
+		Parallelism:      cfg.Parallelism,
+		IframeBias:       cfg.IframeBias,
+		NoIframes:        cfg.NoIframes,
+		Machines:         cfg.Machines,
+		Telemetry:        cfg.Telemetry,
+		Retry:            cfg.Retry,
+		Breaker:          cfg.Breaker,
+		Checkpoint:       cfg.Checkpoint,
+		DirectController: !cfg.ControllerHTTP,
 	}
 }
 

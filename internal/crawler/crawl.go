@@ -232,64 +232,74 @@ func CrawlContext(ctx context.Context, cfg Config) (*Dataset, error) {
 		cfg.Network.Clock().AdvanceTo(t)
 	}
 
+	// Work-stealing dispatch: a fixed pool of Parallelism workers claims
+	// walk indices from a shared atomic counter. Compared with the old
+	// goroutine-per-walk + semaphore scheme this spawns min(P, walks)
+	// goroutines instead of one per walk, never blocks a dispatcher
+	// goroutine on a semaphore, and lets a worker that finishes (or hits
+	// a checkpoint-resumed walk) immediately steal the next index.
+	// Determinism is untouched: every walk still lands in its pre-sized
+	// ds.Walks[idx] slot, and all intra-walk virtual time flows through
+	// the clockLedger's rendezvous barriers exactly as before.
 	ds := &Dataset{Seed: cfg.Seed, Crawlers: AllCrawlers, Walks: make([]*Walk, cfg.Walks)}
-	sem := make(chan struct{}, cfg.Parallelism)
+	workers := cfg.Parallelism
+	if workers > cfg.Walks {
+		workers = cfg.Walks
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i := 0; i < cfg.Walks; i++ {
-		seeder := cfg.Seeders[i%len(cfg.Seeders)]
-		if w := cfg.Checkpoint.Completed(i); w != nil {
-			ds.Walks[i] = w
-			cm.walksResumed.Inc()
-			cm.walksDone.Inc()
-			if cfg.WalkSink != nil {
-				cfg.WalkSink(w)
-			}
-			continue
-		}
-		stop := ctx.Err() != nil
-		if !stop {
-			select {
-			case sem <- struct{}{}:
-			case <-ctx.Done():
-				stop = true
-			}
-		}
-		if stop {
-			w := &Walk{Index: i, Seeder: seeder, Skipped: true}
-			ds.Walks[i] = w
-			cm.walksSkipped.Inc()
-			if cfg.WalkSink != nil {
-				cfg.WalkSink(w)
-			}
-			continue
-		}
+	for k := 0; k < workers; k++ {
 		wg.Add(1)
-		go func(idx int, seeder string) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			wcfg := cfg
-			if cfg.Machines > 1 {
-				wcfg.Machine = fmt.Sprintf("%s-inst%d", cfg.Machine, idx%cfg.Machines)
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= cfg.Walks {
+					return
+				}
+				seeder := cfg.Seeders[idx%len(cfg.Seeders)]
+				if w := cfg.Checkpoint.Completed(idx); w != nil {
+					ds.Walks[idx] = w
+					cm.walksResumed.Inc()
+					cm.walksDone.Inc()
+					if cfg.WalkSink != nil {
+						cfg.WalkSink(w)
+					}
+					continue
+				}
+				if ctx.Err() != nil {
+					w := &Walk{Index: idx, Seeder: seeder, Skipped: true}
+					ds.Walks[idx] = w
+					cm.walksSkipped.Inc()
+					if cfg.WalkSink != nil {
+						cfg.WalkSink(w)
+					}
+					continue
+				}
+				wcfg := cfg
+				if cfg.Machines > 1 {
+					wcfg.Machine = fmt.Sprintf("%s-inst%d", cfg.Machine, idx%cfg.Machines)
+				}
+				sp := cm.tel.StartSpan("crawler", "walk").
+					Attr("walk", strconv.Itoa(idx)).Attr("seeder", seeder)
+				w := runWalk(wcfg, api, idx, seeder, cm, rt)
+				ds.Walks[idx] = w
+				if w.Ended != "" {
+					sp.Attr("ended", string(w.Ended))
+				}
+				sp.Attr("steps", strconv.Itoa(len(w.Steps))).End()
+				cm.walksDone.Inc()
+				if err := cfg.Checkpoint.Record(idx, cfg.Network.Clock().Now(), w); err != nil {
+					w.Degraded = appendReason(w.Degraded, "checkpoint: "+err.Error())
+				}
+				if cfg.OnWalkComplete != nil {
+					cfg.OnWalkComplete(w)
+				}
+				if cfg.WalkSink != nil {
+					cfg.WalkSink(w)
+				}
 			}
-			sp := cm.tel.StartSpan("crawler", "walk").
-				Attr("walk", strconv.Itoa(idx)).Attr("seeder", seeder)
-			w := runWalk(wcfg, api, idx, seeder, cm, rt)
-			ds.Walks[idx] = w
-			if w.Ended != "" {
-				sp.Attr("ended", string(w.Ended))
-			}
-			sp.Attr("steps", strconv.Itoa(len(w.Steps))).End()
-			cm.walksDone.Inc()
-			if err := cfg.Checkpoint.Record(idx, cfg.Network.Clock().Now(), w); err != nil {
-				w.Degraded = appendReason(w.Degraded, "checkpoint: "+err.Error())
-			}
-			if cfg.OnWalkComplete != nil {
-				cfg.OnWalkComplete(w)
-			}
-			if cfg.WalkSink != nil {
-				cfg.WalkSink(w)
-			}
-		}(i, seeder)
+		}()
 	}
 	wg.Wait()
 	return ds, ctx.Err()
@@ -686,6 +696,7 @@ func (r *walkRunner) run(seeder string) {
 			rec.StartURL = page.URL.String()
 			rec.Before = r.snapshot(r.b, page.URL.String())
 			clickables = r.b.Clickables(page)
+			els = make([]Element, 0, len(clickables))
 			for _, c := range clickables {
 				els = append(els, elementFrom(c, r.b.CrossDomain(page, c)))
 			}
@@ -869,8 +880,9 @@ func (t *trailRunner) repeatStep(step int, startURL string, s1Elements []Element
 	rec.StartURL = t.page.URL.String()
 	rec.Before = takeSnapshot(t.b, t.page.URL.String())
 
-	var own []Element
-	for _, c := range t.b.Clickables(t.page) {
+	cs := t.b.Clickables(t.page)
+	own := make([]Element, 0, len(cs))
+	for _, c := range cs {
 		own = append(own, elementFrom(c, false))
 	}
 	match := -1

@@ -192,3 +192,44 @@ func TestRunnerOptions(t *testing.T) {
 		t.Error("NewRunner mutated the caller's Config")
 	}
 }
+
+// TestWorkStealingCrawlDeterminism pins the crawl's work-stealing
+// dispatch (a fixed worker pool claiming walk indices from a shared
+// counter): batch-mode runs — no streaming machinery between the crawl
+// and the metrics — must produce byte-identical metrics JSON at
+// parallelism 1, 4 and 16. The paper-faithful loopback HTTP controller
+// transport is a deployment shape, not a semantic choice, so flipping
+// it on must not change the bytes either.
+func TestWorkStealingCrawlDeterminism(t *testing.T) {
+	base := crumbcruncher.SmallConfig()
+	base.World.Seed = 5
+	base.Walks = 36
+	base.BatchAnalysis = true
+
+	var ref []byte
+	for _, par := range []int{1, 4, 16} {
+		cfg := base
+		cfg.Parallelism = par
+		run, err := crumbcruncher.NewRunner(cfg).Run(context.Background())
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		got := metricsBytes(t, run)
+		if ref == nil {
+			ref = got
+		} else if !bytes.Equal(got, ref) {
+			t.Errorf("parallelism %d: metrics differ from parallelism 1", par)
+		}
+	}
+
+	httpCfg := base
+	httpCfg.Parallelism = 4
+	httpCfg.ControllerHTTP = true
+	run, err := crumbcruncher.NewRunner(httpCfg).Run(context.Background())
+	if err != nil {
+		t.Fatalf("http controller transport: %v", err)
+	}
+	if !bytes.Equal(metricsBytes(t, run), ref) {
+		t.Error("HTTP controller transport changed the metrics bytes")
+	}
+}

@@ -37,7 +37,7 @@ race:
 	$(GO) test -race ./...
 
 # The tracked benchmark set (full crawl, parallel re-analysis,
-# streaming-vs-batch engine), archived as BENCH_pr4.json for cross-run
+# streaming-vs-batch engine), archived as BENCH_pr6.json for cross-run
 # comparison.
 bench:
 	scripts/bench.sh

@@ -10,7 +10,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr4.json}"
+out="${1:-BENCH_pr6.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 

@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
@@ -30,6 +29,7 @@ import (
 	"time"
 
 	"crumbcruncher"
+	"crumbcruncher/internal/serve"
 )
 
 func main() {
@@ -124,12 +124,14 @@ func main() {
 		opts = append(opts, crumbcruncher.WithTelemetry(tel))
 	}
 	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("pprof server: %v", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+		// Bind synchronously so a bad address is a startup error, not a
+		// log line racing the run; the listener closes with the process.
+		bound, stopDebug, err := serve.StartDebug(*pprofAddr, nil)
+		if err != nil {
+			log.Fatalf("pprof server: %v", err)
+		}
+		defer stopDebug()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", bound)
 	}
 
 	start := time.Now() //crumb:allow wallclock CLI progress line; stderr only, never in results

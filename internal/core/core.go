@@ -99,6 +99,31 @@ type Config struct {
 	Telemetry *telemetry.Telemetry `json:"-"`
 }
 
+// Hash returns the SHA-256 of the configuration's canonical JSON with
+// every knob that provably cannot change run results normalized away:
+// Parallelism is zeroed (every pipeline stage is bit-identical at any
+// pool size) and the runtime wiring (Telemetry, Checkpoint, OnProgress)
+// never serializes. Two configs with equal hashes therefore produce
+// byte-identical runs, which is exactly the contract the serve layer's
+// world cache and run provenance need: a scheduling knob must never
+// fragment the world cache or make two reruns of the same study look
+// like different studies.
+//
+// BatchAnalysis and ControllerHTTP, though also bit-identical modes,
+// stay in the digest: they select genuinely different execution shapes
+// and keeping them visible makes provenance blocks more useful.
+func (cfg Config) Hash() string {
+	cfg.Parallelism = 0
+	cfg.Telemetry = nil
+	cfg.Checkpoint = nil
+	cfg.OnProgress = nil
+	// The method-free alias keeps telemetry.ConfigHash on its generic
+	// JSON path instead of recursing back into Hash via the Hasher
+	// interface.
+	type canonical Config
+	return telemetry.ConfigHash(canonical(cfg))
+}
+
 // analysisParallelism is the worker-pool size for the post-crawl stages.
 func (cfg Config) analysisParallelism() int {
 	if cfg.Parallelism < 1 {
@@ -151,6 +176,32 @@ func ExecuteContext(ctx context.Context, cfg Config) (*Run, error) {
 	sp := cfg.Telemetry.StartSpan("core", "build_world")
 	world := web.BuildWorld(cfg.World)
 	sp.End()
+	return executeInWorld(ctx, cfg, world)
+}
+
+// ExecuteInWorld is ExecuteContext over a pre-built world: the crawl
+// runs against the supplied world instead of constructing one from
+// cfg.World. This is the serve layer's entry point — its world cache
+// builds one template per distinct configuration and hands every job a
+// run-private fork.
+//
+// The world must have been built from exactly cfg.World (the pair is
+// validated, because walk counts and seeds are derived from the config
+// while pages come from the world), and it must be private to this run:
+// a World carries per-run mutable state — the virtual network with its
+// clock, and the deterministic visit counters — so concurrent runs must
+// each bring their own (see web.World.Fork). Results are byte-identical
+// to ExecuteContext with the same configuration.
+func ExecuteInWorld(ctx context.Context, cfg Config, world *web.World) (*Run, error) {
+	if world.Config() != cfg.World {
+		return nil, fmt.Errorf("core: world was built from a different configuration than cfg.World")
+	}
+	return executeInWorld(ctx, cfg, world)
+}
+
+// executeInWorld wires telemetry and deadlines into the world's network
+// and runs the streaming or batch pipeline over it.
+func executeInWorld(ctx context.Context, cfg Config, world *web.World) (*Run, error) {
 	// Binds the run's registry (and the virtual clock) to the network;
 	// a nil Telemetry leaves the network on its private registry.
 	world.Network().SetTelemetry(cfg.Telemetry)

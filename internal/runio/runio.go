@@ -26,6 +26,9 @@ const (
 	// AnalysisFormat is the streaming engine's per-walk analysis-state
 	// sidecar, persisted next to the walk checkpoint.
 	AnalysisFormat = "crumbcruncher/analysis-state"
+	// IndexFormat is the serve layer's run-store index: one line per
+	// persisted run, appended as jobs complete.
+	IndexFormat = "crumbcruncher/run-index"
 )
 
 // RunVersion is bumped when the saved-run document layout changes.

@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// StartDebug binds a debug/profiling HTTP listener synchronously and
+// serves handler (nil: http.DefaultServeMux, where net/http/pprof
+// registers) on a background goroutine. Binding up front means a bad
+// -pprof address is a startup error the caller can report before any
+// work begins, instead of a log line racing a run already underway —
+// and the returned stop func gives the listener the shutdown path a
+// bare http.ListenAndServe goroutine never had. The bound address is
+// returned so callers using ":0" can log the real port.
+func StartDebug(addr string, handler http.Handler) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{
+		Handler: handler,
+		// Debug listeners face operators, not the internet, but a stuck
+		// client should still not pin a connection forever.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns non-nil after Close
+	stop := func() { srv.Close() }
+	return ln.Addr().String(), stop, nil
+}

@@ -1,0 +1,185 @@
+// Package queue provides the serve layer's admission machinery: a
+// bounded priority queue with FIFO ordering inside each priority band,
+// and a token bucket that rate-limits job admission. Both are plain
+// synchronization primitives — they carry opaque payloads and know
+// nothing about jobs, so they are testable in isolation and reusable
+// for any future work class the server grows.
+package queue
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+
+	"crumbcruncher/internal/telemetry"
+)
+
+var (
+	// ErrFull is returned by Push when the queue is at capacity. The
+	// server maps it to 503 + Retry-After: backpressure, not data loss.
+	ErrFull = errors.New("queue: full")
+	// ErrClosed is returned by Push after Close; Pop drains what
+	// remains and then reports !ok.
+	ErrClosed = errors.New("queue: closed")
+)
+
+// item is one queued payload plus its ordering key.
+type item struct {
+	value    any
+	priority int
+	seq      uint64 // admission order, breaks ties FIFO within a band
+}
+
+// Queue is a bounded, closeable priority queue. Higher Priority values
+// pop first; equal priorities pop in admission order. All methods are
+// safe for concurrent use.
+type Queue struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	items    pqueue
+	capacity int
+	nextSeq  uint64
+	closed   bool
+}
+
+// New returns a queue holding at most capacity items; capacity <= 0
+// means unbounded.
+func New(capacity int) *Queue {
+	q := &Queue{capacity: capacity}
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues v at the given priority. It never blocks: a full queue
+// returns ErrFull so the caller can surface backpressure immediately.
+func (q *Queue) Push(v any, priority int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.capacity > 0 && q.items.Len() >= q.capacity {
+		return ErrFull
+	}
+	heap.Push(&q.items, &item{value: v, priority: priority, seq: q.nextSeq})
+	q.nextSeq++
+	q.notEmpty.Signal()
+	return nil
+}
+
+// Pop blocks until an item is available or the queue is closed and
+// empty. It returns (value, true) for an item and (nil, false) once
+// the queue is closed with nothing left to drain.
+func (q *Queue) Pop() (any, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.items.Len() == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.items.Len() == 0 {
+		return nil, false
+	}
+	it := heap.Pop(&q.items).(*item)
+	return it.value, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.items.Len()
+}
+
+// Close marks the queue closed: Push fails, and blocked Pops return
+// once remaining items are drained.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.notEmpty.Broadcast()
+}
+
+// Drain closes the queue and removes every queued item, returning them
+// in pop order so the caller can mark them canceled. Workers blocked in
+// Pop wake up and observe the closed, empty queue.
+func (q *Queue) Drain() []any {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	out := make([]any, 0, q.items.Len())
+	for q.items.Len() > 0 {
+		out = append(out, heap.Pop(&q.items).(*item).value)
+	}
+	q.notEmpty.Broadcast()
+	return out
+}
+
+// pqueue implements heap.Interface: max-priority first, then FIFO.
+type pqueue []*item
+
+func (p pqueue) Len() int { return len(p) }
+func (p pqueue) Less(i, j int) bool {
+	if p[i].priority != p[j].priority {
+		return p[i].priority > p[j].priority
+	}
+	return p[i].seq < p[j].seq
+}
+func (p pqueue) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
+func (p *pqueue) Push(x any)   { *p = append(*p, x.(*item)) }
+func (p *pqueue) Pop() any {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*p = old[:n-1]
+	return it
+}
+
+// Bucket is a token-bucket admission limiter. Refill is computed lazily
+// from a telemetry.Stopwatch — the repo's one sanctioned wall-clock
+// origin — so the serve tree stays clean under the wallclock analyzer.
+// A nil *Bucket admits everything.
+type Bucket struct {
+	mu        sync.Mutex
+	watch     telemetry.Stopwatch
+	lastMicro int64   // stopwatch reading at the last refill
+	tokens    float64 // current balance, <= capacity
+	capacity  float64
+	perSecond float64
+}
+
+// NewBucket returns a bucket holding at most capacity tokens, refilled
+// at perSecond tokens per second and starting full. A nil bucket (or
+// perSecond <= 0) disables limiting.
+func NewBucket(capacity int, perSecond float64) *Bucket {
+	if capacity <= 0 || perSecond <= 0 {
+		return nil
+	}
+	return &Bucket{
+		watch:     telemetry.StartStopwatch(),
+		tokens:    float64(capacity),
+		capacity:  float64(capacity),
+		perSecond: perSecond,
+	}
+}
+
+// Take consumes one token if available, reporting whether admission
+// succeeded. It never blocks.
+func (b *Bucket) Take() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.watch.ElapsedMicros()
+	b.tokens += float64(now-b.lastMicro) / 1e6 * b.perSecond
+	if b.tokens > b.capacity {
+		b.tokens = b.capacity
+	}
+	b.lastMicro = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

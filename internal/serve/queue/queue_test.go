@@ -1,0 +1,147 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPriorityThenFIFO pins the ordering contract: higher priority pops
+// first, and within a priority band items pop in admission order.
+func TestPriorityThenFIFO(t *testing.T) {
+	q := New(0)
+	for i, tc := range []struct {
+		v string
+		p int
+	}{
+		{"low-a", 0}, {"high-a", 5}, {"low-b", 0}, {"high-b", 5}, {"mid", 3},
+	} {
+		if err := q.Push(tc.v, tc.p); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	want := []string{"high-a", "high-b", "mid", "low-a", "low-b"}
+	for i, w := range want {
+		v, ok := q.Pop()
+		if !ok || v.(string) != w {
+			t.Fatalf("pop %d = %v, %v; want %q", i, v, ok, w)
+		}
+	}
+}
+
+// TestBoundedPush pins the backpressure contract: a full queue rejects
+// with ErrFull instead of blocking, and draining one slot re-admits.
+func TestBoundedPush(t *testing.T) {
+	q := New(2)
+	if err := q.Push(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(3, 0); err != ErrFull {
+		t.Fatalf("push over capacity = %v, want ErrFull", err)
+	}
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if err := q.Push(3, 0); err != nil {
+		t.Fatalf("push after drain: %v", err)
+	}
+}
+
+// TestCloseUnblocksPop pins shutdown: a blocked Pop returns !ok after
+// Close, and Push fails with ErrClosed.
+func TestCloseUnblocksPop(t *testing.T) {
+	q := New(0)
+	done := make(chan bool)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	q.Close()
+	if ok := <-done; ok {
+		t.Fatal("Pop on closed empty queue reported ok")
+	}
+	if err := q.Push(1, 0); err != ErrClosed {
+		t.Fatalf("push after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestDrainReturnsRemaining pins graceful drain: queued items come back
+// in pop order for cancellation, and the queue is closed afterwards.
+func TestDrainReturnsRemaining(t *testing.T) {
+	q := New(0)
+	q.Push("a", 0)
+	q.Push("b", 2)
+	q.Push("c", 0)
+	got := q.Drain()
+	if len(got) != 3 || got[0] != "b" || got[1] != "a" || got[2] != "c" {
+		t.Fatalf("drain = %v", got)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop after drain reported ok")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len after drain = %d", q.Len())
+	}
+}
+
+// TestConcurrentPushPop exercises the queue under -race: every pushed
+// item is popped exactly once across competing consumers.
+func TestConcurrentPushPop(t *testing.T) {
+	const n = 200
+	q := New(0)
+	var seen sync.Map
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := q.Pop()
+				if !ok {
+					return
+				}
+				if _, dup := seen.LoadOrStore(v.(int), true); dup {
+					t.Errorf("item %v popped twice", v)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := q.Push(i, i%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	wg.Wait()
+	count := 0
+	seen.Range(func(any, any) bool { count++; return true })
+	if count != n {
+		t.Fatalf("popped %d distinct items, want %d", count, n)
+	}
+}
+
+// TestBucket pins admission limiting: a fresh bucket admits its burst
+// capacity then rejects, and a nil bucket admits everything.
+func TestBucket(t *testing.T) {
+	b := NewBucket(3, 0.000001) // refill slow enough to be irrelevant
+	for i := 0; i < 3; i++ {
+		if !b.Take() {
+			t.Fatalf("take %d rejected within burst", i)
+		}
+	}
+	if b.Take() {
+		t.Fatal("take beyond burst admitted")
+	}
+
+	var unlimited *Bucket
+	for i := 0; i < 100; i++ {
+		if !unlimited.Take() {
+			t.Fatal("nil bucket rejected")
+		}
+	}
+	if NewBucket(0, 5) != nil || NewBucket(5, 0) != nil {
+		t.Fatal("degenerate bucket parameters should disable limiting")
+	}
+}

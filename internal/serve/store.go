@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"crumbcruncher"
+	"crumbcruncher/internal/core"
+	"crumbcruncher/internal/runio"
+)
+
+// indexVersion is bumped when the run-index entry layout changes.
+const indexVersion = 1
+
+// RunEntry is one line of the store's index: enough to list, locate and
+// identify a persisted run without opening its (large) document.
+type RunEntry struct {
+	ID string `json:"id"`
+	// File is the run document's path, relative to the store directory.
+	File       string `json:"file"`
+	Seed       int64  `json:"seed"`
+	ConfigHash string `json:"config_hash"`
+	Walks      int    `json:"walks"`
+	// SavedUptimeMs is the server's stopwatch reading at save time.
+	SavedUptimeMs int64 `json:"saved_uptime_ms"`
+}
+
+// Store persists completed runs under one directory: full run documents
+// (re-analyzable with cmd/crumbreport or a "reanalyze" job) plus an
+// append-only JSONL index that survives restarts — reopening a store
+// replays the index, so GET /runs lists runs saved by earlier server
+// processes. Torn index tails (a crash mid-append) are dropped by the
+// runio line-file codec. Checkpoint files for draining jobs live in the
+// same directory.
+type Store struct {
+	dir     string
+	mu      sync.Mutex
+	index   *runio.LineFile
+	entries []RunEntry
+	byID    map[string]RunEntry
+}
+
+// OpenStore opens (or creates) a run store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	want := runio.Header{Format: runio.IndexFormat, Version: indexVersion}
+	index, lines, err := runio.OpenLineFile(filepath.Join(dir, "index.jsonl"), want)
+	if err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	s := &Store{dir: dir, index: index, byID: make(map[string]RunEntry)}
+	for _, line := range lines {
+		var e RunEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			break // schema mismatch in the tail: stop, like a torn write
+		}
+		s.entries = append(s.entries, e)
+		s.byID[e.ID] = e
+	}
+	return s, nil
+}
+
+// Save persists a completed run under id and appends its index entry.
+func (s *Store) Save(id string, run *core.Run, configHash string, uptimeMs int64) (RunEntry, error) {
+	file := "run-" + id + ".json"
+	if err := crumbcruncher.SaveRun(filepath.Join(s.dir, file), run); err != nil {
+		return RunEntry{}, err
+	}
+	e := RunEntry{
+		ID:            id,
+		File:          file,
+		Seed:          run.Config.World.Seed,
+		ConfigHash:    configHash,
+		Walks:         run.Config.Walks,
+		SavedUptimeMs: uptimeMs,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.index.Append(e); err != nil {
+		return RunEntry{}, fmt.Errorf("serve: store: index: %w", err)
+	}
+	s.entries = append(s.entries, e)
+	s.byID[e.ID] = e
+	return e, nil
+}
+
+// Lookup finds a run entry by id.
+func (s *Store) Lookup(id string) (RunEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byID[id]
+	return e, ok
+}
+
+// List returns the index entries in save order.
+func (s *Store) List() []RunEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RunEntry, len(s.entries))
+	copy(out, s.entries)
+	return out
+}
+
+// RunPath returns the absolute path of an entry's run document.
+func (s *Store) RunPath(e RunEntry) string { return filepath.Join(s.dir, e.File) }
+
+// CheckpointPath returns where a job's checkpoint file lives.
+func (s *Store) CheckpointPath(jobID string) string {
+	return filepath.Join(s.dir, jobID+".checkpoint")
+}
+
+// Close closes the index file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.index.Close()
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"sync"
+
+	"crumbcruncher/internal/telemetry"
+	"crumbcruncher/internal/web"
+)
+
+// worldCache shares immutable world templates between jobs with the
+// same configuration hash. The cached template is built once (guarded
+// by a per-entry sync.Once so concurrent first arrivals build exactly
+// one world and latecomers block on it, not on the whole cache) and is
+// never crawled itself: every job receives template.Fork(), a cheap
+// copy with fresh mutable state (network, clock, visit counts) over the
+// shared immutable structure. That split is what makes multi-tenancy
+// deterministic — N concurrent jobs cannot perturb each other through
+// the world because they never touch shared mutable state.
+//
+// The key is core.Config.Hash(), which normalizes scheduling knobs
+// away, so two jobs differing only in Parallelism or telemetry wiring
+// share one template. Hashing the full config (not just Config.World)
+// is deliberately conservative: jobs differing in, say, walk count
+// rebuild an identical world under a second key, trading a little
+// memory for a key that provably identifies byte-identical runs.
+type worldCache struct {
+	mu      sync.Mutex
+	entries map[string]*worldCacheEntry
+	hits    *telemetry.Counter
+	misses  *telemetry.Counter
+}
+
+type worldCacheEntry struct {
+	once  sync.Once
+	world *web.World
+}
+
+func newWorldCache(tel *telemetry.Telemetry) *worldCache {
+	return &worldCache{
+		entries: make(map[string]*worldCacheEntry),
+		hits:    tel.Counter("serve.world_cache_hits"),
+		misses:  tel.Counter("serve.world_cache_misses"),
+	}
+}
+
+// Fork returns a fresh fork of the template for hash, building the
+// template from wc on first use, and reports whether the template was
+// already cached.
+func (c *worldCache) Fork(hash string, wc web.Config) (*web.World, bool) {
+	c.mu.Lock()
+	e, hit := c.entries[hash]
+	if !hit {
+		e = &worldCacheEntry{}
+		c.entries[hash] = e
+	}
+	c.mu.Unlock()
+	if hit {
+		c.hits.Inc()
+	} else {
+		c.misses.Inc()
+	}
+	e.once.Do(func() { e.world = web.BuildWorld(wc) })
+	return e.world.Fork(), hit
+}
+
+// Len reports the number of cached templates.
+func (c *worldCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

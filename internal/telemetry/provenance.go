@@ -35,10 +35,23 @@ type Provenance struct {
 	Metrics *Snapshot `json:"metrics,omitempty"`
 }
 
-// ConfigHash hashes any JSON-serializable configuration value. Errors
+// Hasher lets a configuration type supply its own canonical hash.
+// core.Config implements it to normalize scheduling-only knobs
+// (Parallelism, runtime wiring) out of the digest, so provenance blocks
+// and the serve layer's world cache agree on one identity for every
+// configuration that provably produces byte-identical results.
+type Hasher interface {
+	Hash() string
+}
+
+// ConfigHash hashes any JSON-serializable configuration value. A value
+// implementing Hasher supplies its own canonical digest instead. Errors
 // collapse to a sentinel rather than failing a save: provenance is
 // descriptive metadata, never load-bearing.
 func ConfigHash(cfg any) string {
+	if h, ok := cfg.(Hasher); ok {
+		return h.Hash()
+	}
 	blob, err := json.Marshal(cfg)
 	if err != nil {
 		return "unserializable"

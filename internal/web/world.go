@@ -302,6 +302,44 @@ func BuildWorld(cfg Config) *World {
 	return w
 }
 
+// Fork returns a run-private view of the world. The expensive seeded
+// generation — sites, trackers, campaigns, the ground-truth registry,
+// organisation and category maps — is shared with the receiver, all of
+// it immutable (or internally locked) after BuildWorld returns. The
+// per-run mutable substrate is rebuilt fresh: a new virtual network
+// with its own clock and fault injector, and zeroed visit counters.
+//
+// A template world that is never crawled directly can therefore serve
+// any number of concurrent runs, each fork producing results
+// byte-identical to a world built from scratch with the same Config
+// (the serve layer's world cache relies on exactly this). Forking pays
+// only handler registration and fault installation, not generation.
+// Fork is safe to call concurrently on the same receiver.
+func (w *World) Fork() *World {
+	nw := &World{
+		cfg:             w.cfg,
+		net:             netsim.New(),
+		truth:           w.truth,
+		psl:             w.psl,
+		split:           w.split,
+		sites:           w.sites,
+		siteByDomain:    w.siteByDomain,
+		trackers:        w.trackers,
+		adNetworks:      w.adNetworks,
+		affiliates:      w.affiliates,
+		bounces:         w.bounces,
+		analytics:       w.analytics,
+		orgOf:           w.orgOf,
+		categories:      w.categories,
+		allCampaigns:    w.allCampaigns,
+		campaignsByDest: w.campaignsByDest,
+		visits:          make(map[string]int),
+	}
+	nw.registerHandlers()
+	nw.installFaults()
+	return nw
+}
+
 // buildTrackers creates the tracker organisations (sites come later, so
 // campaign destinations and retailer partnerships are wired in
 // buildCampaigns).

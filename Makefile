@@ -1,15 +1,16 @@
 # Developer entry points. `make check` is the gate every change must
 # pass: it builds everything, vets, runs crumblint (the project's own
 # determinism/telemetry analyzers, via the same vet-tool path CI uses),
-# and runs the full test suite with the race detector on — which
-# exercises the parallel analysis pipeline's determinism tests
-# (Parallelism 1/4/16) under -race.
+# runs the full test suite with the race detector on — which exercises
+# the parallel analysis pipeline's determinism tests (Parallelism
+# 1/4/16) under -race — and finishes with the chaos smoke (kill,
+# corrupt, recover, diff against a clean run; DESIGN.md §12).
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-all
+.PHONY: check build vet lint test race bench bench-all chaos
 
-check: build vet lint race
+check: build vet lint race chaos
 
 build:
 	$(GO) build ./...
@@ -35,6 +36,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Crash-safety smoke: SIGKILL + bit-flip chaos at three process-level
+# points, recovered metrics diffed byte-for-byte against clean runs.
+chaos:
+	scripts/chaossmoke.sh
 
 # The tracked benchmark set (full crawl, parallel re-analysis,
 # streaming-vs-batch engine), archived as BENCH_pr6.json for cross-run

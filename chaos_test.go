@@ -1,0 +1,167 @@
+package crumbcruncher_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"crumbcruncher"
+	"crumbcruncher/internal/chaos"
+	"crumbcruncher/internal/runio"
+)
+
+// chaosConfig is the small deterministic run every chaos scenario
+// crashes and resumes. Parallelism 1 keeps the resumed schedule
+// byte-identical to the uninterrupted one.
+func chaosConfig() crumbcruncher.Config {
+	cfg := crumbcruncher.SmallConfig()
+	cfg.World.Seed = 11
+	cfg.Walks = 20
+	cfg.Parallelism = 1
+	return cfg
+}
+
+// runToCrash executes a checkpointed streaming run with inj installed
+// at the write boundary, canceling the run the instant the injector's
+// crash point fires — the in-process equivalent of the process dying
+// mid-run. Returns once the run has unwound.
+func runToCrash(t *testing.T, cfg crumbcruncher.Config, ckptPath string, inj *chaos.Injector) {
+	t.Helper()
+	ckpt, err := crumbcruncher.OpenCheckpoint(ckptPath, cfg.World.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runio.SetFault(inj)
+	defer runio.SetFault(nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-inj.Crashed():
+			cancel()
+		case <-done:
+		}
+	}()
+
+	if _, err := crumbcruncher.NewRunner(cfg, crumbcruncher.WithCheckpoint(ckpt)).Run(ctx); err == nil {
+		t.Fatal("crashed run returned no error")
+	}
+	select {
+	case <-inj.Crashed():
+	default:
+		t.Fatal("run failed before the chaos point fired")
+	}
+	ckpt.Close() //nolint:errcheck // the "process" is dead; state is on disk
+}
+
+// resumeAndVerify reopens the checkpoint (recovering whatever the crash
+// left), finishes the run, and asserts the metrics are byte-identical
+// to the uninterrupted reference.
+func resumeAndVerify(t *testing.T, cfg crumbcruncher.Config, ckptPath string, want []byte) {
+	t.Helper()
+	tel := crumbcruncher.NewTelemetry()
+	ckpt, err := crumbcruncher.OpenCheckpointTel(ckptPath, cfg.World.Seed, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckpt.Close()
+	run, err := crumbcruncher.NewRunner(cfg,
+		crumbcruncher.WithCheckpoint(ckpt),
+		crumbcruncher.WithTelemetry(tel),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricsBytes(t, run); !bytes.Equal(got, want) {
+		t.Error("resumed run's metrics differ from the uninterrupted run")
+	}
+}
+
+// TestChaosCrashRecoverVerify kills a streaming run at seeded chaos
+// points — torn checkpoint appends of varying severity, a sidecar tear,
+// an fsync-time crash — then resumes from the surviving disk state and
+// requires metrics byte-identical to a clean run.
+func TestChaosCrashRecoverVerify(t *testing.T) {
+	cfg := chaosConfig()
+	ref, err := crumbcruncher.NewRunner(cfg).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := metricsBytes(t, ref)
+
+	points := []struct {
+		name string
+		cfg  chaos.Config
+		// sync overrides the process fsync policy for the scenario
+		// (zero: leave the default interval policy).
+		sync runio.SyncPolicy
+	}{
+		{name: "torn checkpoint record, nothing lands", cfg: chaos.Config{Seed: 1, Target: runio.CheckpointFormat, CrashAtRecord: 4, TearBytes: 0}},
+		{name: "torn checkpoint record, partial frame", cfg: chaos.Config{Seed: 2, Target: runio.CheckpointFormat, CrashAtRecord: 6, TearBytes: 11}},
+		{name: "torn checkpoint record, partial payload", cfg: chaos.Config{Seed: 3, Target: runio.CheckpointFormat, CrashAtRecord: 3, TearBytes: 40}},
+		{name: "torn analysis sidecar record", cfg: chaos.Config{Seed: 4, Target: runio.AnalysisFormat, CrashAtRecord: 5, TearBytes: 25}},
+		// Under -fsync every-record each append syncs, so sync 2 is the
+		// first walk entry's fsync — a crash point mid-run.
+		{name: "crash at checkpoint fsync", cfg: chaos.Config{Seed: 5, Target: runio.CheckpointFormat, CrashAtSync: 2}, sync: runio.SyncEveryRecord},
+	}
+	for _, p := range points {
+		t.Run(p.name, func(t *testing.T) {
+			if p.sync != runio.SyncDefault {
+				runio.SetDefaultSyncPolicy(p.sync)
+				defer runio.SetDefaultSyncPolicy(runio.SyncInterval)
+			}
+			ckptPath := filepath.Join(t.TempDir(), "ckpt.jsonl")
+			runToCrash(t, cfg, ckptPath, chaos.New(p.cfg))
+			resumeAndVerify(t, cfg, ckptPath, want)
+		})
+	}
+}
+
+// TestChaosCorruptCheckpointQuarantined flips a bit in a recorded
+// checkpoint entry (latent damage: the interrupted run never notices),
+// then verifies the resume path refuses the corrupt walks — quarantine,
+// typed error, fresh restart — and still converges to clean metrics.
+func TestChaosCorruptCheckpointQuarantined(t *testing.T) {
+	cfg := chaosConfig()
+	ref, err := crumbcruncher.NewRunner(cfg).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := metricsBytes(t, ref)
+
+	ckptPath := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	inj := chaos.New(chaos.Config{Seed: 9, Target: runio.CheckpointFormat, FlipAtRecord: 3})
+	runio.SetFault(inj)
+	ckpt, err := crumbcruncher.OpenCheckpoint(ckptPath, cfg.World.Seed)
+	if err != nil {
+		runio.SetFault(nil)
+		t.Fatal(err)
+	}
+	// The flip is latent: the run completes normally, with the damage
+	// sitting in the checkpoint file.
+	if _, err := crumbcruncher.NewRunner(cfg, crumbcruncher.WithCheckpoint(ckpt)).Run(context.Background()); err != nil {
+		runio.SetFault(nil)
+		t.Fatal(err)
+	}
+	ckpt.Close()
+	runio.SetFault(nil)
+
+	// Resume: never silently skip the corrupt record. The file is
+	// quarantined and the open reports exactly where the damage is.
+	_, err = crumbcruncher.OpenCheckpoint(ckptPath, cfg.World.Seed)
+	var dmg *runio.DamageError
+	if !errors.As(err, &dmg) || !errors.Is(err, runio.ErrCorrupt) {
+		t.Fatalf("corrupt checkpoint not classified: %v", err)
+	}
+	if dmg.Quarantined == "" {
+		t.Fatal("corrupt checkpoint not quarantined")
+	}
+
+	// A fresh start from the now-clean path reproduces the clean run.
+	resumeAndVerify(t, cfg, ckptPath, want)
+}

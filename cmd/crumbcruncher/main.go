@@ -8,11 +8,17 @@
 //	              [-machines N] [-small] [-batch] [-save crawl.json]
 //	              [-out report.txt] [-trace trace.jsonl] [-progress]
 //	              [-pprof localhost:6060] [-retries N] [-breaker N]
-//	              [-deadline D] [-resume ckpt.jsonl] [-connect-fail R]
-//	              [-transient-fail R] [-degrade R] [-spike R]
+//	              [-deadline D] [-resume ckpt.jsonl] [-fsync POLICY]
+//	              [-connect-fail R] [-transient-fail R] [-degrade R]
+//	              [-spike R]
 //
-// An interrupted run (Ctrl-C) drains gracefully; with -resume it can be
-// continued later from the same checkpoint file.
+// An interrupted run (Ctrl-C or a crash) drains gracefully; with
+// -resume it can be continued later from the same checkpoint file. A
+// checkpoint torn by a crash mid-write recovers automatically (the
+// partial record is dropped); a corrupt one is quarantined to
+// "<path>.corrupt" and the run restarts from scratch rather than trust
+// damaged walks. -fsync bounds how much a crash can lose: "never",
+// "interval" (default: every 32 records or 1 MiB) or "every-record".
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"time"
 
 	"crumbcruncher"
+	"crumbcruncher/internal/runio"
 	"crumbcruncher/internal/serve"
 )
 
@@ -56,6 +63,7 @@ func main() {
 		breaker   = flag.Int("breaker", 0, "per-domain circuit breaker: open after N consecutive failed retry sequences (0: disabled)")
 		deadline  = flag.Duration("deadline", 0, "per-request virtual-clock deadline (0: none)")
 		resume    = flag.String("resume", "", "checkpoint file: record completed walks, and resume from it if it exists")
+		fsyncMode = flag.String("fsync", "interval", "fsync policy for checkpoints and sidecars: never, interval, every-record")
 		connFail  = flag.Float64("connect-fail", -1, "fraction of domains refusing connections (-1: config default, paper 3.3%)")
 		transient = flag.Float64("transient-fail", 0, "fraction of domains whose first attempts fail then recover")
 		degrade   = flag.Float64("degrade", 0, "fraction of domains answering first attempts with 502/503 + Retry-After")
@@ -102,19 +110,12 @@ func main() {
 	cfg.World.TransientFailRate = *transient
 	cfg.World.HTTPDegradeRate = *degrade
 	cfg.World.LatencySpikeRate = *spike
-	var ckpt *crumbcruncher.Checkpoint
-	if *resume != "" {
-		var err error
-		ckpt, err = crumbcruncher.OpenCheckpoint(*resume, cfg.World.Seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer ckpt.Close()
-		if n := ckpt.CompletedCount(); n > 0 {
-			fmt.Fprintf(os.Stderr, "resuming: %d walks already completed in %s\n", n, *resume)
-		}
-		opts = append(opts, crumbcruncher.WithCheckpoint(ckpt))
+
+	policy, ok := runio.ParseSyncPolicy(*fsyncMode)
+	if !ok {
+		log.Fatalf("bad -fsync %q: want never, interval or every-record", *fsyncMode)
 	}
+	runio.SetDefaultSyncPolicy(policy)
 
 	// Telemetry is observation-only: results are identical with it on or
 	// off, so it is attached exactly when some flag consumes it.
@@ -122,6 +123,30 @@ func main() {
 	if *traceOut != "" || *progress {
 		tel = crumbcruncher.NewTelemetry()
 		opts = append(opts, crumbcruncher.WithTelemetry(tel))
+	}
+
+	var ckpt *crumbcruncher.Checkpoint
+	if *resume != "" {
+		var err error
+		ckpt, err = crumbcruncher.OpenCheckpointTel(*resume, cfg.World.Seed, tel)
+		if errors.Is(err, runio.ErrCorrupt) {
+			// The damaged checkpoint has been quarantined; crawl from
+			// scratch rather than resume from corrupt walks.
+			fmt.Fprintf(os.Stderr, "checkpoint damaged, starting fresh: %v\n", err)
+			ckpt, err = crumbcruncher.OpenCheckpointTel(*resume, cfg.World.Seed, tel)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ckpt.Close()
+		if rec := ckpt.Recovery(); rec.DroppedTail {
+			fmt.Fprintf(os.Stderr, "checkpoint recovered: dropped a torn %d-byte tail, kept %d walks\n",
+				rec.TornBytes, rec.Records)
+		}
+		if n := ckpt.CompletedCount(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d walks already completed in %s\n", n, *resume)
+		}
+		opts = append(opts, crumbcruncher.WithCheckpoint(ckpt))
 	}
 	if *pprofAddr != "" {
 		// Bind synchronously so a bad address is a startup error, not a

@@ -7,7 +7,7 @@
 //
 //	crumbserved [-addr :8080] [-workers N] [-queue N] [-store DIR]
 //	            [-rate N] [-burst N] [-retry-after S] [-span-cap N]
-//	            [-pprof localhost:6060] [-drain-grace D]
+//	            [-fsync POLICY] [-pprof localhost:6060] [-drain-grace D]
 //
 // Quickstart:
 //
@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"crumbcruncher/internal/runio"
 	"crumbcruncher/internal/serve"
 )
 
@@ -51,10 +52,17 @@ func main() {
 		burst      = flag.Int("burst", 0, "token-bucket admission: burst size (0: unlimited)")
 		retryAfter = flag.Int("retry-after", 5, "Retry-After seconds on 503/429 responses")
 		spanCap    = flag.Int("span-cap", 0, "per-job span tracer capacity (0: default)")
+		fsyncMode  = flag.String("fsync", "interval", "fsync policy for checkpoints and the run index: never, interval, every-record")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "maximum time to wait for in-flight jobs to drain on shutdown")
 	)
 	flag.Parse()
+
+	policy, ok := runio.ParseSyncPolicy(*fsyncMode)
+	if !ok {
+		log.Fatalf("bad -fsync %q: want never, interval or every-record", *fsyncMode)
+	}
+	runio.SetDefaultSyncPolicy(policy)
 
 	srv, err := serve.New(serve.Options{
 		Workers:           *workers,

@@ -186,9 +186,19 @@ type Checkpoint = crawler.Checkpoint
 // OpenCheckpoint opens (or creates) a checkpoint file for the given
 // seed. Completed walks already on disk are restored instead of
 // re-crawled; at Parallelism 1 a resumed dataset is byte-identical to an
-// uninterrupted run.
+// uninterrupted run. A torn final record (a crash mid-write) is dropped
+// and recovered from automatically; a corrupt record quarantines the
+// file to "<path>.corrupt" and returns an error matching
+// errors.Is(err, runio.ErrCorrupt) — see OpenCheckpointTel.
 func OpenCheckpoint(path string, seed int64) (*Checkpoint, error) {
 	return crawler.OpenCheckpoint(path, seed)
+}
+
+// OpenCheckpointTel is OpenCheckpoint with telemetry attached: torn-tail
+// recoveries and quarantines are counted on runio.recovered_records and
+// runio.quarantined_files.
+func OpenCheckpointTel(path string, seed int64, tel *Telemetry) (*Checkpoint, error) {
+	return crawler.OpenCheckpointOpts(path, seed, runio.OpenOptions{Tel: tel})
 }
 
 // Reanalyze re-runs the post-crawl analysis pipeline (path
@@ -290,14 +300,14 @@ func DecodeRun(rd io.Reader) (*Run, error) {
 }
 
 // SaveRun writes a run's crawl to a JSON file for later re-analysis with
-// cmd/crumbreport. See EncodeRun for the document format.
+// cmd/crumbreport. See EncodeRun for the document format. The file lands
+// via temp-file + atomic rename, so path never holds a half-written run:
+// a crash mid-save leaves the previous content (or nothing), not a torn
+// document.
 func SaveRun(path string, r *Run) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("crumbcruncher: save run: %w", err)
-	}
-	defer f.Close()
-	return EncodeRun(f, r)
+	return runio.WriteFileAtomic(path, func(w io.Writer) error {
+		return EncodeRun(w, r)
+	})
 }
 
 // LoadRun reads a saved crawl file and re-runs the analysis pipeline

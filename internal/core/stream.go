@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -94,7 +95,17 @@ func executeStreaming(ctx context.Context, cfg Config, world *web.World) (*Run, 
 		for _, i := range cp.CompletedIndices() {
 			resumable[i] = true
 		}
-		lf, lines, err := runio.OpenLineFile(cp.Path()+".analysis", analysisHeader(cfg.World.Seed))
+		scPath := cp.Path() + ".analysis"
+		scOpts := runio.OpenOptions{Tel: tel}
+		lf, lines, err := runio.OpenLineFileOpts(scPath, analysisHeader(cfg.World.Seed), scOpts)
+		if errors.Is(err, runio.ErrCorrupt) {
+			// The sidecar is a pure cache of per-walk analysis state: with
+			// the corrupt file quarantined, start a fresh one and recompute
+			// the tokens from the checkpointed walks. The run stays
+			// byte-identical — only the restore fast path is lost.
+			reg.Counter("core.stream_sidecar_errors").Inc()
+			lf, lines, err = runio.OpenLineFileOpts(scPath, analysisHeader(cfg.World.Seed), scOpts)
+		}
 		if err != nil {
 			esp.EndErr(err)
 			return nil, fmt.Errorf("core: analysis state: %w", err)

@@ -43,10 +43,19 @@ type Checkpoint struct {
 
 // OpenCheckpoint opens (or creates) the checkpoint file at path for a
 // crawl with the given seed. An existing file must carry the same seed;
-// its recorded walks become available via Completed. A truncated final
-// line (interrupted mid-write) is tolerated and ignored.
+// its recorded walks become available via Completed. A torn final
+// record (interrupted mid-write) is dropped and the file truncated back
+// to its last complete walk; mid-file corruption quarantines the file
+// (runio.ErrCorrupt — see OpenCheckpointOpts to observe recovery).
 func OpenCheckpoint(path string, seed int64) (*Checkpoint, error) {
-	lf, lines, err := runio.OpenLineFile(path, checkpointHeader(seed))
+	return OpenCheckpointOpts(path, seed, runio.OpenOptions{})
+}
+
+// OpenCheckpointOpts is OpenCheckpoint with the durability wiring
+// exposed: opts.Tel counts recovered records and quarantines, opts.Sync
+// picks the fsync policy for appended walks.
+func OpenCheckpointOpts(path string, seed int64, opts runio.OpenOptions) (*Checkpoint, error) {
+	lf, lines, err := runio.OpenLineFileOpts(path, checkpointHeader(seed), opts)
 	if err != nil {
 		return nil, fmt.Errorf("crawler: checkpoint: %w", err)
 	}
@@ -71,6 +80,15 @@ func (cp *Checkpoint) Path() string {
 		return ""
 	}
 	return cp.lf.Path()
+}
+
+// Recovery reports what opening the checkpoint file had to repair (the
+// zero value when it was intact). Safe on a nil checkpoint.
+func (cp *Checkpoint) Recovery() runio.Recovery {
+	if cp == nil {
+		return runio.Recovery{}
+	}
+	return cp.lf.Recovery()
 }
 
 // Completed returns the recorded walk for index, or nil if the walk has

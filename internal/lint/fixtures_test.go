@@ -30,3 +30,7 @@ func TestSpanEnd(t *testing.T) {
 func TestNoEntry(t *testing.T) {
 	linttest.Run(t, "testdata", lint.NoEntry, "noentry", "crumbcruncher")
 }
+
+func TestFsyncpolicy(t *testing.T) {
+	linttest.Run(t, "testdata", lint.Fsyncpolicy, "fsyncpolicy", "fsyncpolicy/internal/runio")
+}

@@ -20,6 +20,7 @@ func All() []*analysis.Analyzer {
 		MapOrder,
 		SpanEnd,
 		NoEntry,
+		Fsyncpolicy,
 	}
 }
 

@@ -1,0 +1,42 @@
+package fsyncpolicy
+
+import "os"
+
+func bad(f *os.File) error {
+	if err := f.Sync(); err != nil { // want `os\.File\.Sync outside internal/runio`
+		return err
+	}
+	return os.Rename("a.tmp", "a") // want `os\.Rename outside internal/runio`
+}
+
+type wrapper struct{ f *os.File }
+
+func badThroughField(w wrapper) error {
+	return w.f.Sync() // want `os\.File\.Sync outside internal/runio`
+}
+
+// Sync on a non-os type stays legal: the rule keys on the receiver's
+// identity, not the method name.
+type flusher struct{}
+
+func (flusher) Sync() error { return nil }
+
+func pure(fl flusher, f *os.File) {
+	_ = fl.Sync()
+	_, _ = f.Stat()      // other *os.File methods stay legal
+	_ = os.Remove("tmp") // and so do other os functions
+}
+
+func allowedTrailing(f *os.File) error {
+	return f.Sync() //crumb:allow fsyncpolicy fixture: trailing directive exempts this line
+}
+
+//crumb:allow fsyncpolicy fixture: function-scoped waiver
+func allowedByDoc() error {
+	return os.Rename("b.tmp", "b")
+}
+
+func wrongDirectiveName(f *os.File) error {
+	//crumb:allow wallclock a directive for another analyzer does not cover fsyncpolicy
+	return f.Sync() // want `os\.File\.Sync outside internal/runio`
+}

@@ -1,0 +1,13 @@
+// Package runio stands in for the real durability layer: the one
+// package where raw Sync and Rename are the implementation, not a
+// bypass.
+package runio
+
+import "os"
+
+func Implementation(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename("x.tmp", "x")
+}

@@ -1,0 +1,461 @@
+package runio
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"crumbcruncher/internal/telemetry"
+)
+
+// LineFile is an append-only JSONL artifact whose first line is a
+// validated Header. New files are written framed (format v2: every
+// record CRC32-checksummed and length-prefixed); files created before
+// the framing remain readable and are appended to in their own legacy
+// format. Opening an existing file replays its entry lines, recovering
+// from a torn tail (truncate back to the last complete record) and
+// quarantining mid-file corruption. Append is safe for concurrent use.
+type LineFile struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	format string
+	framed bool
+	policy SyncPolicy
+
+	seq      uint64 // records written through this handle (header = 0)
+	syncSeq  uint64 // fsyncs attempted through this handle
+	recsAcc  int    // records since the last fsync (SyncInterval)
+	bytesAcc int    // bytes since the last fsync (SyncInterval)
+
+	syncErr  error // sticky: first fsync failure, surfaced by Close
+	crashed  error // sticky: the fault hook abandoned this writer
+	closed   bool
+	recovery Recovery
+}
+
+// Recovery describes what opening an existing artifact had to repair.
+// The zero value means the file was intact.
+type Recovery struct {
+	// DroppedTail reports that a torn final record was dropped and the
+	// file truncated back to its last complete record.
+	DroppedTail bool
+	// TornBytes is how many bytes of partial record the truncation
+	// removed.
+	TornBytes int64
+	// Records is how many complete records survived the recovery
+	// (counted only when there was damage to recover from).
+	Records int
+}
+
+// OpenOptions carries the optional wiring for OpenLineFileOpts.
+type OpenOptions struct {
+	// Sync selects the fsync policy (SyncDefault: the process default).
+	Sync SyncPolicy
+	// Tel, when non-nil, counts recoveries and quarantines on the
+	// runio.recovered_records / runio.quarantined_files counters.
+	Tel *telemetry.Telemetry
+}
+
+// OpenLineFile opens (or creates) the JSONL artifact at path with
+// default options. See OpenLineFileOpts.
+func OpenLineFile(path string, want Header) (*LineFile, [][]byte, error) {
+	return OpenLineFileOpts(path, want, OpenOptions{})
+}
+
+// OpenLineFileOpts opens (or creates) the JSONL artifact at path. An
+// existing file's header must pass Check against want; its entry lines
+// are returned raw, in file order, for the caller to decode.
+//
+// Damage handling: a torn tail — a final record a crash left
+// incomplete — is dropped and the file truncated back to its last
+// complete record, so later appends continue from a clean boundary
+// (LineFile.Recovery reports what happened). Mid-file corruption — a
+// record whose checksum or structure is wrong even though all its
+// bytes are present — quarantines the whole file to "<path>.corrupt"
+// and returns a *DamageError wrapping ErrCorrupt; the caller decides
+// whether to start fresh or salvage (SalvageLineFile). A fresh — or
+// entry-less — file is truncated and given the want header.
+func OpenLineFileOpts(path string, want Header, opts OpenOptions) (*LineFile, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("runio: open %s: %w", want.Format, err)
+	}
+	fail := func(err error) (*LineFile, [][]byte, error) {
+		f.Close()
+		return nil, nil, err
+	}
+
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return fail(fmt.Errorf("runio: %s %s: %w", want.Format, path, err))
+	}
+	sc := scanLines(data, want)
+	if sc.damage != nil {
+		sc.damage.Path = path
+		if sc.damage.check != nil {
+			// Intact bytes, wrong artifact (format/version/seed): the
+			// caller's mistake, never quarantine material.
+			return fail(sc.damage.check)
+		}
+		if errors.Is(sc.damage, ErrCorrupt) {
+			// Quarantine: move the damaged file aside so nothing ever
+			// reads past the corruption, and surface where it went.
+			f.Close()
+			q := path + ".corrupt"
+			if rerr := os.Rename(path, q); rerr != nil {
+				return nil, nil, fmt.Errorf("runio: quarantine %s: %v (damage: %w)", path, rerr, sc.damage)
+			}
+			sc.damage.Quarantined = q
+			opts.Tel.Counter("runio.quarantined_files").Inc()
+			return nil, nil, sc.damage
+		}
+		// Torn tail: recover by truncating back to the last complete
+		// record; everything before it is intact and kept.
+		if err := f.Truncate(sc.goodEnd); err != nil {
+			return fail(fmt.Errorf("runio: %s %s: truncate torn tail: %w", want.Format, path, err))
+		}
+		opts.Tel.Counter("runio.recovered_records").Add(int64(len(sc.entries)))
+	}
+
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		return fail(fmt.Errorf("runio: %s %s: %w", want.Format, path, err))
+	}
+	lf := &LineFile{
+		f:      f,
+		path:   path,
+		format: want.Format,
+		framed: sc.framed,
+		policy: opts.Sync.resolve(),
+	}
+	if sc.damage != nil {
+		lf.recovery = Recovery{DroppedTail: true, TornBytes: int64(len(data)) - sc.goodEnd, Records: len(sc.entries)}
+	}
+	if len(sc.entries) == 0 {
+		// Fresh (or header-only) file: (re)write the header, framed.
+		if err := f.Truncate(0); err != nil {
+			return fail(fmt.Errorf("runio: %s %s: %w", want.Format, path, err))
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return fail(fmt.Errorf("runio: %s %s: %w", want.Format, path, err))
+		}
+		lf.framed = true
+		if err := lf.appendValue(want); err != nil {
+			return fail(fmt.Errorf("runio: %s %s: %w", want.Format, path, err))
+		}
+	} else {
+		lf.seq = uint64(len(sc.entries)) + 1 // header + replayed entries
+	}
+	return lf, sc.entries, nil
+}
+
+// scanResult is one pass over a line file's bytes.
+type scanResult struct {
+	entries [][]byte
+	framed  bool
+	goodEnd int64 // byte offset just past the last intact record
+	damage  *DamageError
+}
+
+// scanLines walks the file's lines, validating each record against the
+// framing (v2) or plain-JSON (legacy) rules and classifying the first
+// damage it meets: torn (only possible at the tail) or corrupt.
+func scanLines(data []byte, want Header) scanResult {
+	res := scanResult{framed: true}
+	off := int64(0)
+	rec := 0
+	for int(off) < len(data) {
+		rest := data[off:]
+		nl := bytes.IndexByte(rest, '\n')
+		var line []byte
+		var end int64
+		if nl < 0 {
+			line, end = rest, int64(len(data))
+		} else {
+			line, end = rest[:nl], off+int64(nl)+1
+		}
+		last := int(end) == len(data)
+
+		if rec == 0 {
+			res.framed = len(line) > 0 && line[0] == frameMark
+		}
+		payload, kind := line, frameOK
+		if res.framed {
+			payload, kind = parseFrame(line)
+		} else if !json.Valid(line) {
+			kind = frameShort // legacy files cannot tell a tear from a flip
+		}
+		if kind == frameOK && nl < 0 {
+			// A record without its trailing newline parsed whole, but
+			// the terminator a complete append always writes is gone:
+			// the write was cut exactly at the payload boundary. Torn.
+			kind = frameShort
+		}
+		if kind != frameOK {
+			res.damage = &DamageError{Format: want.Format, Offset: off, Record: rec, kind: ErrTorn}
+			if !last || kind == frameBad {
+				res.damage.kind = ErrCorrupt
+			}
+			return res
+		}
+		if rec == 0 {
+			var h Header
+			if err := json.Unmarshal(payload, &h); err != nil {
+				res.damage = &DamageError{Format: want.Format, Offset: off, Record: 0, kind: ErrCorrupt}
+				return res
+			}
+			if err := h.Check(want); err != nil {
+				// A well-formed header for the wrong artifact is not
+				// damage — it is the caller's mistake. Report it as a
+				// plain error by reusing the corrupt path with no
+				// quarantine: the scan loop's caller maps this.
+				res.damage = &DamageError{Format: want.Format, Offset: off, Record: 0, kind: ErrCorrupt}
+				res.damage.check = err
+				return res
+			}
+		} else {
+			res.entries = append(res.entries, append([]byte(nil), payload...))
+		}
+		res.goodEnd = end
+		off = end
+		rec++
+	}
+	return res
+}
+
+// Path returns the file's path.
+func (lf *LineFile) Path() string {
+	if lf == nil {
+		return ""
+	}
+	return lf.path
+}
+
+// Recovery reports what opening the file had to repair (the zero value
+// when it was intact). Safe on a nil receiver.
+func (lf *LineFile) Recovery() Recovery {
+	if lf == nil {
+		return Recovery{}
+	}
+	return lf.recovery
+}
+
+// Append encodes v as one record line — framed with a CRC32 checksum
+// and length prefix on v2 files. Depending on the sync policy the
+// append may fsync before returning. Safe for concurrent use and on a
+// nil receiver.
+func (lf *LineFile) Append(v any) error {
+	if lf == nil {
+		return nil
+	}
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	if lf.closed || lf.f == nil {
+		return errors.New("runio: append to closed line file")
+	}
+	return lf.appendValue(v)
+}
+
+// appendValue writes one record; callers hold mu (or own lf
+// exclusively during open).
+func (lf *LineFile) appendValue(v any) error {
+	if lf.crashed != nil {
+		return lf.crashed
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runio: %s: encode record: %w", lf.format, err)
+	}
+	var line []byte
+	if lf.framed {
+		line = buildFrame(payload)
+	} else {
+		line = append(payload, '\n')
+	}
+
+	var crash error
+	if fault := currentFault(); fault != nil {
+		line, crash = fault.BeforeAppend(lf.format, lf.seq, line)
+	}
+	lf.seq++
+	if len(line) > 0 {
+		if _, werr := lf.f.Write(line); werr != nil && crash == nil {
+			return fmt.Errorf("runio: %s: write record: %w", lf.format, werr)
+		}
+	}
+	if crash != nil {
+		lf.crashed = crash
+		return crash
+	}
+
+	switch lf.policy {
+	case SyncEveryRecord:
+		return lf.syncLocked()
+	case SyncInterval:
+		lf.recsAcc++
+		lf.bytesAcc += len(line)
+		if lf.recsAcc >= syncIntervalRecords || lf.bytesAcc >= syncIntervalBytes {
+			return lf.syncLocked()
+		}
+	}
+	return nil
+}
+
+// Sync forces an fsync now, regardless of policy. Failures are also
+// remembered and surfaced by Close, so callers that only check Close
+// still observe them. Safe on a nil receiver.
+func (lf *LineFile) Sync() error {
+	if lf == nil {
+		return nil
+	}
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	if lf.closed || lf.f == nil {
+		return errors.New("runio: sync of closed line file")
+	}
+	return lf.syncLocked()
+}
+
+func (lf *LineFile) syncLocked() error {
+	if lf.crashed != nil {
+		return lf.crashed
+	}
+	if fault := currentFault(); fault != nil {
+		if err := fault.BeforeSync(lf.format, lf.syncSeq); err != nil {
+			lf.syncSeq++
+			lf.crashed = err
+			return err
+		}
+	}
+	lf.syncSeq++
+	lf.recsAcc, lf.bytesAcc = 0, 0
+	if err := lf.f.Sync(); err != nil {
+		if lf.syncErr == nil {
+			lf.syncErr = err
+		}
+		return fmt.Errorf("runio: %s: sync: %w", lf.format, err)
+	}
+	return nil
+}
+
+// Close syncs and closes the file. Any fsync failure during the file's
+// lifetime — not just the final one — is surfaced here, so a caller
+// that only checks Close still learns its acknowledged records may not
+// have hit the disk. Close is idempotent: the second and later calls
+// return nil without touching the (already released) descriptor. Safe
+// on a nil receiver.
+func (lf *LineFile) Close() error {
+	if lf == nil {
+		return nil
+	}
+	lf.mu.Lock()
+	defer lf.mu.Unlock()
+	if lf.closed || lf.f == nil {
+		return nil
+	}
+	lf.closed = true
+	var err error
+	if lf.crashed == nil {
+		if serr := lf.syncLocked(); serr != nil {
+			err = serr
+		}
+	}
+	if cerr := lf.f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err == nil && lf.syncErr != nil {
+		err = fmt.Errorf("runio: %s: earlier sync failed: %w", lf.format, lf.syncErr)
+	}
+	lf.f = nil
+	return err
+}
+
+// SalvageLineFile reads as many intact records as possible out of a
+// damaged (typically quarantined) line file: records that fail their
+// checksum or framing are skipped — counted, never silently — and
+// every record that still verifies is returned in file order. The
+// header must verify and pass Check, or nothing is salvageable.
+func SalvageLineFile(path string, want Header) (entries [][]byte, dropped int, err error) {
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		return nil, 0, fmt.Errorf("runio: salvage %s: %w", path, rerr)
+	}
+	off := 0
+	rec := 0
+	framed := len(data) > 0 && data[0] == frameMark
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		var line []byte
+		if nl < 0 {
+			line, off = data[off:], len(data)
+		} else {
+			line, off = data[off:off+nl], off+nl+1
+		}
+		payload, kind := line, frameOK
+		if framed {
+			payload, kind = parseFrame(line)
+		} else if !json.Valid(line) {
+			kind = frameBad
+		}
+		if rec == 0 {
+			rec++
+			if kind != frameOK {
+				return nil, 0, fmt.Errorf("runio: salvage %s: header unreadable: %w", path, ErrCorrupt)
+			}
+			var h Header
+			if json.Unmarshal(payload, &h) != nil {
+				return nil, 0, fmt.Errorf("runio: salvage %s: header unreadable: %w", path, ErrCorrupt)
+			}
+			if cerr := h.Check(want); cerr != nil {
+				return nil, 0, fmt.Errorf("runio: salvage %s: %w", path, cerr)
+			}
+			continue
+		}
+		rec++
+		if kind != frameOK {
+			dropped++
+			continue
+		}
+		entries = append(entries, append([]byte(nil), payload...))
+	}
+	return entries, dropped, nil
+}
+
+// ReplaceLineFile atomically rewrites the artifact at path — header
+// plus the given raw JSON entries, framed — and reopens it for append.
+// Used to persist a repaired artifact (e.g. the serve run-index after
+// a boot-time scan) without any window where a crash leaves a partial
+// rewrite visible.
+func ReplaceLineFile(path string, want Header, entries [][]byte, opts OpenOptions) (*LineFile, error) {
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		hdr, err := json.Marshal(want)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(buildFrame(hdr)); err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if _, err := w.Write(buildFrame(e)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	lf, replayed, err := OpenLineFileOpts(path, want, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(replayed) != len(entries) {
+		lf.Close()
+		return nil, fmt.Errorf("runio: replace %s: wrote %d entries, read back %d", path, len(entries), len(replayed))
+	}
+	return lf, nil
+}

@@ -1,20 +1,33 @@
 // Package runio is the shared on-disk codec for every artifact
 // CrumbCruncher persists: saved runs (single JSON documents), walk
 // checkpoints and streaming analysis sidecars (append-only JSONL line
-// files). All artifacts open with the same versioned Header, so format,
-// version and seed validation live in exactly one place. The package
-// depends only on the standard library; any layer — including the
+// files), and the serve layer's run-store index. All artifacts open
+// with the same versioned Header, so format, version and seed
+// validation live in exactly one place. The package depends only on
+// the standard library plus telemetry; any layer — including the
 // crawler — may import it without creating cycles.
+//
+// Durability (format version 2, DESIGN.md §12): every record is
+// written as a CRC32-checksummed, length-prefixed frame, so readers
+// can tell a *torn tail* (a write interrupted by a crash — the partial
+// final record is dropped and the file truncated back to its last
+// complete record) from *mid-file corruption* (bit rot or an overwrite
+// — the file is quarantined to "<path>.corrupt" and a typed error
+// carrying the damaged offset and record index is surfaced; damage is
+// never silently skipped). Files written before the framing existed
+// (v1: plain JSONL) remain fully readable and appendable. Writers
+// carry an fsync policy (SyncNever / SyncInterval / SyncEveryRecord),
+// and finalized documents land via temp-file + atomic rename
+// (WriteFileAtomic), so a saved run is either completely present or
+// absent — never half-written.
 package runio
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"os"
-	"sync"
 )
 
 // Artifact format identifiers.
@@ -69,137 +82,167 @@ func (h Header) Check(want Header) error {
 	return nil
 }
 
-// WriteDocument writes v as a single JSON document. v is expected to
-// carry (embed) a Header so ReadDocument can validate it later.
+// --- Damage classification ---------------------------------------------------
+
+// ErrTorn marks a record that was truncated by an interrupted write: a
+// crash landed mid-append and only a prefix of the record reached the
+// disk. Line files recover from torn tails automatically (the partial
+// record is dropped and the file truncated); the sentinel only surfaces
+// for single-document artifacts, which have nothing left to recover.
+var ErrTorn = errors.New("runio: torn write")
+
+// ErrCorrupt marks damage that truncation cannot explain — a bit flip,
+// an overwrite, a record mangled in the middle of the file. Corrupt
+// artifacts are never silently skipped: line files are quarantined to
+// "<path>.corrupt" and the error carries the damaged location.
+var ErrCorrupt = errors.New("runio: corrupt record")
+
+// DamageError is the typed error for a damaged artifact. It wraps
+// ErrTorn or ErrCorrupt (test with errors.Is) and pins the damage to a
+// byte offset and record index. For quarantined line files, Quarantined
+// is the path the damaged file was moved to.
+type DamageError struct {
+	Format string // artifact format identifier
+	Path   string // original path ("" when reading a stream)
+	// Offset is the byte offset of the damaged frame within the file.
+	Offset int64
+	// Record is the damaged record's index; the header line is record 0,
+	// entries count from 1.
+	Record int
+	// Quarantined is where the damaged file was moved ("" if it was not).
+	Quarantined string
+	kind        error // ErrTorn or ErrCorrupt
+	// check, when non-nil, means the bytes were intact but the header
+	// identified a different artifact — a caller mistake, not damage.
+	check error
+}
+
+func (e *DamageError) Error() string {
+	what := "torn"
+	if e.kind == ErrCorrupt {
+		what = "corrupt"
+	}
+	msg := fmt.Sprintf("runio: %s: %s record %d at byte offset %d", e.Format, what, e.Record, e.Offset)
+	if e.Path != "" {
+		msg += " in " + e.Path
+	}
+	if e.Quarantined != "" {
+		msg += " (quarantined to " + e.Quarantined + ")"
+	}
+	return msg
+}
+
+// Unwrap exposes the ErrTorn / ErrCorrupt sentinel for errors.Is.
+func (e *DamageError) Unwrap() error { return e.kind }
+
+// --- Documents ---------------------------------------------------------------
+
+// WriteDocument writes v as a single framed JSON document: one frame
+// line whose payload is the document. v is expected to carry (embed) a
+// Header so ReadDocument can validate it later.
 func WriteDocument(w io.Writer, v any) error {
-	return json.NewEncoder(w).Encode(v)
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runio: encode document: %w", err)
+	}
+	_, err = w.Write(buildFrame(payload))
+	return err
 }
 
 // ReadDocument reads one whole JSON document from r, validates its
-// top-level header fields against want, and unmarshals the document
-// into v. Pre-versioning documents (no header fields) pass validation.
+// framing (when present) and its top-level header fields against want,
+// and unmarshals the document into v. Unframed documents (written
+// before format v2) and pre-versioning documents (no header fields)
+// pass validation. A truncated framed document returns a DamageError
+// wrapping ErrTorn; a checksum mismatch one wrapping ErrCorrupt.
 func ReadDocument(r io.Reader, want Header, v any) error {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return fmt.Errorf("runio: read %s: %w", want.Format, err)
 	}
+	payload, err := DocumentPayload(data, want.Format)
+	if err != nil {
+		return err
+	}
 	var h Header
-	if err := json.Unmarshal(data, &h); err != nil {
+	if err := json.Unmarshal(payload, &h); err != nil {
 		return fmt.Errorf("runio: decode %s: %w", want.Format, err)
 	}
 	if err := h.Check(want); err != nil {
 		return err
 	}
-	if err := json.Unmarshal(data, v); err != nil {
+	if err := json.Unmarshal(payload, v); err != nil {
 		return fmt.Errorf("runio: decode %s: %w", want.Format, err)
 	}
 	return nil
 }
 
-// LineFile is an append-only JSONL artifact whose first line is a
-// validated Header. Opening an existing file replays its entry lines; a
-// truncated final line (a write interrupted mid-crash) is dropped.
-// Append is safe for concurrent use.
-type LineFile struct {
-	mu   sync.Mutex
-	f    *os.File
-	enc  *json.Encoder
-	path string
+// DocumentPayload unwraps a document's frame, verifying length and
+// checksum, and returns the raw JSON payload. Unframed (pre-v2)
+// documents pass through unchanged. The format names the artifact in
+// damage errors.
+func DocumentPayload(data []byte, format string) ([]byte, error) {
+	if len(data) == 0 || data[0] != frameMark {
+		return data, nil // pre-framing document: raw JSON
+	}
+	line := data
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	payload, kind := parseFrame(line)
+	switch kind {
+	case frameOK:
+		return payload, nil
+	case frameShort:
+		return nil, &DamageError{Format: format, Offset: 0, Record: 0, kind: ErrTorn}
+	default:
+		return nil, &DamageError{Format: format, Offset: 0, Record: 0, kind: ErrCorrupt}
+	}
 }
 
-// OpenLineFile opens (or creates) the JSONL artifact at path. An
-// existing file's header must pass Check against want; its entry lines
-// are returned raw, in file order, for the caller to decode. Trailing
-// lines that are not complete JSON values are dropped as torn writes. A
-// fresh — or entry-less — file is truncated and given the want header.
-func OpenLineFile(path string, want Header) (*LineFile, [][]byte, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// WriteFileAtomic writes a file through a temp-file + rename so the
+// path never holds a half-written artifact: either the complete, synced
+// content is visible under path, or the previous content (or absence)
+// is. write receives the temp file's writer.
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	dir, base := splitPath(path)
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
 	if err != nil {
-		return nil, nil, fmt.Errorf("runio: open %s: %w", want.Format, err)
+		return fmt.Errorf("runio: atomic write %s: %w", path, err)
 	}
-	fail := func(err error) (*LineFile, [][]byte, error) {
-		f.Close()
-		return nil, nil, err
+	tmpPath := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("runio: atomic write %s: %w", path, err)
 	}
-
-	var entries [][]byte
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<26) // entries (e.g. walks) serialize large
-	if sc.Scan() {
-		var h Header
-		if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
-			return fail(fmt.Errorf("runio: %s %s: bad header: %w", want.Format, path, err))
-		}
-		if err := h.Check(want); err != nil {
-			return fail(fmt.Errorf("runio: %s: %w", path, err))
-		}
-		for sc.Scan() {
-			if !json.Valid(sc.Bytes()) {
-				break // interrupted mid-write: drop the partial tail
-			}
-			entries = append(entries, append([]byte(nil), sc.Bytes()...))
-		}
+	if err := write(tmp); err != nil {
+		return fail(err)
 	}
-	if err := sc.Err(); err != nil {
-		return fail(fmt.Errorf("runio: %s %s: %w", want.Format, path, err))
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
 	}
-
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		return fail(fmt.Errorf("runio: %s %s: %w", want.Format, path, err))
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("runio: atomic write %s: %w", path, err)
 	}
-	lf := &LineFile{f: f, enc: json.NewEncoder(f), path: path}
-	if len(entries) == 0 {
-		// Fresh (or header-only) file: (re)write the header.
-		if err := f.Truncate(0); err != nil {
-			return fail(fmt.Errorf("runio: %s %s: %w", want.Format, path, err))
-		}
-		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			return fail(fmt.Errorf("runio: %s %s: %w", want.Format, path, err))
-		}
-		if err := lf.enc.Encode(want); err != nil {
-			return fail(fmt.Errorf("runio: %s %s: %w", want.Format, path, err))
-		}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("runio: atomic write %s: %w", path, err)
 	}
-	return lf, entries, nil
+	return nil
 }
 
-// Path returns the file's path.
-func (lf *LineFile) Path() string {
-	if lf == nil {
-		return ""
+// splitPath is filepath.Split without pulling the import into the hot
+// path signature; it keeps the temp file in the target's directory so
+// the final rename never crosses filesystems.
+func splitPath(path string) (dir, base string) {
+	i := len(path) - 1
+	for i >= 0 && !os.IsPathSeparator(path[i]) {
+		i--
 	}
-	return lf.path
-}
-
-// Append encodes v as one JSONL entry line. Safe for concurrent use and
-// on a nil receiver.
-func (lf *LineFile) Append(v any) error {
-	if lf == nil {
-		return nil
+	if i < 0 {
+		return ".", path
 	}
-	lf.mu.Lock()
-	defer lf.mu.Unlock()
-	if lf.f == nil {
-		return errors.New("runio: append to closed line file")
-	}
-	return lf.enc.Encode(v)
-}
-
-// Close syncs and closes the file. Safe on a nil receiver and after a
-// prior Close.
-func (lf *LineFile) Close() error {
-	if lf == nil {
-		return nil
-	}
-	lf.mu.Lock()
-	defer lf.mu.Unlock()
-	if lf.f == nil {
-		return nil
-	}
-	err := lf.f.Sync()
-	if cerr := lf.f.Close(); err == nil {
-		err = cerr
-	}
-	lf.f = nil
-	return err
+	return path[:i+1], path[i+1:]
 }

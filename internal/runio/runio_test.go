@@ -117,20 +117,43 @@ func TestLineFileDropsTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	lf.Append(map[string]int{"n": 1})
+	lf.Append(map[string]int{"n": 2})
 	lf.Close()
-	// Simulate a crash mid-write: a trailing half-entry.
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	// Simulate a crash mid-write: chop the tail off the final record so
+	// only part of its frame reached the disk.
+	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.WriteString(`{"n": 2, "truncat`)
-	f.Close()
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
 
-	_, entries, err := OpenLineFile(path, hdr)
+	lf2, entries, err := OpenLineFile(path, hdr)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer lf2.Close()
 	if len(entries) != 1 {
 		t.Fatalf("torn tail not dropped: %d entries", len(entries))
+	}
+	rec := lf2.Recovery()
+	if !rec.DroppedTail || rec.TornBytes == 0 {
+		t.Fatalf("recovery not reported: %+v", rec)
+	}
+	// The truncation must leave a clean boundary: appends after recovery
+	// read back whole.
+	if err := lf2.Append(map[string]int{"n": 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lf2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, entries, err = OpenLineFile(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("after recovery+append: %d entries, want 2", len(entries))
 	}
 }

@@ -46,6 +46,10 @@ type JobSpec struct {
 	// NoCheckpoint disables the per-job checkpoint a store-backed
 	// server would otherwise record for drain/resume.
 	NoCheckpoint bool `json:"no_checkpoint,omitempty"`
+	// TimeoutMs, when > 0, bounds the job's execution: a job still
+	// running after this many milliseconds fails with a timeout cause
+	// (its checkpoint keeps the walks completed before the deadline).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
 
 // resolve expands the spec into the effective run configuration.

@@ -23,9 +23,11 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"crumbcruncher"
 	"crumbcruncher/internal/core"
@@ -55,6 +57,17 @@ type Options struct {
 	// RetryAfterSeconds is the Retry-After header on 503/429 responses
 	// (default 5).
 	RetryAfterSeconds int
+	// Hooks are test-only chaos points; zero in production.
+	Hooks Hooks
+}
+
+// Hooks are optional callbacks the chaos harness uses to reach inside
+// the worker pool deterministically. All fields may be nil.
+type Hooks struct {
+	// BeforeJob runs on the worker goroutine just before a job's
+	// pipeline starts. A panic here exercises the worker's panic
+	// isolation exactly like a panic inside the pipeline would.
+	BeforeJob func(jobID string, spec JobSpec)
 }
 
 // Server executes jobs and serves the HTTP API. Create with New, mount
@@ -103,7 +116,7 @@ func New(opts Options) (*Server, error) {
 	s.bucket = queue.NewBucket(opts.AdmitBurst, opts.AdmitPerSecond)
 	s.cache = newWorldCache(s.tel)
 	if opts.StoreDir != "" {
-		store, err := OpenStore(opts.StoreDir)
+		store, err := OpenStore(opts.StoreDir, s.tel)
 		if err != nil {
 			return nil, err
 		}
@@ -180,17 +193,27 @@ func (s *Server) worker() {
 func (s *Server) runJob(j *Job) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	if j.Spec.TimeoutMs > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, time.Duration(j.Spec.TimeoutMs)*time.Millisecond)
+		defer tcancel()
+	}
 	if !j.begin(cancel, s.uptimeMs()) {
 		return // canceled while queued
 	}
 	s.busy.Add(1)
 	defer s.busy.Add(-1)
 
-	run, err := s.execute(ctx, j)
+	run, err := s.executeGuarded(ctx, j)
 	now := s.uptimeMs()
 	if err != nil {
 		state := StateFailed
-		if ctx.Err() != nil {
+		switch {
+		case errors.Is(ctx.Err(), context.DeadlineExceeded):
+			// The job's own deadline fired: a failure with a timeout
+			// cause, not a cancellation.
+			err = fmt.Errorf("serve: job timed out after %dms: %w", j.Spec.TimeoutMs, err)
+		case ctx.Err() != nil:
 			// The pipeline drained after cancellation: a server drain
 			// leaves a resumable job, an explicit DELETE a canceled one.
 			state = StateCanceled
@@ -225,6 +248,23 @@ func (s *Server) runJob(j *Job) {
 	j.finish(StateDone, "", s.uptimeMs())
 }
 
+// executeGuarded is execute behind a recover barrier: a panicking job —
+// a poisoned config, a bug in a pipeline stage — lands in state failed
+// with the panic value and stack in the job record, and the worker (and
+// daemon) keep serving.
+func (s *Server) executeGuarded(ctx context.Context, j *Job) (run *core.Run, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.tel.Counter("serve.jobs_panicked").Inc()
+			run, err = nil, fmt.Errorf("serve: job panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if hook := s.opts.Hooks.BeforeJob; hook != nil {
+		hook(j.ID, j.Spec)
+	}
+	return s.execute(ctx, j)
+}
+
 // execute runs the job's pipeline under its private telemetry handle.
 func (s *Server) execute(ctx context.Context, j *Job) (*core.Run, error) {
 	jt := telemetry.New(nil, s.opts.SpanCapacity)
@@ -239,23 +279,39 @@ func (s *Server) execute(ctx context.Context, j *Job) (*core.Run, error) {
 
 	cfg.Telemetry = jt
 	cfg.OnProgress = j.setProgress
+	var cp *crumbcruncher.Checkpoint
 	if s.store != nil && !j.Spec.NoCheckpoint {
 		path := s.store.CheckpointPath(j.ID)
-		cp, err := crumbcruncher.OpenCheckpoint(path, cfg.World.Seed)
+		var err error
+		cp, err = crumbcruncher.OpenCheckpointTel(path, cfg.World.Seed, s.tel)
+		if errors.Is(err, runio.ErrCorrupt) {
+			// The damaged checkpoint is quarantined; the job restarts
+			// from an empty one rather than trusting corrupt walks.
+			cp, err = crumbcruncher.OpenCheckpointTel(path, cfg.World.Seed, s.tel)
+		}
 		if err != nil {
 			return nil, err
 		}
-		defer cp.Close()
 		cfg.Checkpoint = cp
 		j.mu.Lock()
 		j.checkpoint = path
 		j.mu.Unlock()
 	}
-	world, hit := s.cache.Fork(j.configHash, cfg.World)
+	world, hit, err := s.cache.Fork(j.configHash, cfg.World)
+	if err != nil {
+		cp.Close() //nolint:errcheck // job is already failing
+		return nil, err
+	}
 	j.mu.Lock()
 	j.cacheHit = hit
 	j.mu.Unlock()
-	return core.ExecuteInWorld(ctx, cfg, world)
+	run, err := core.ExecuteInWorld(ctx, cfg, world)
+	// A checkpoint that cannot sync its recorded walks is a durability
+	// failure even when the run itself succeeded: surface it.
+	if cerr := cp.Close(); cerr != nil && err == nil {
+		return nil, fmt.Errorf("serve: checkpoint close: %w", cerr)
+	}
+	return run, err
 }
 
 // reanalyze re-runs the post-crawl pipeline over a stored run's
@@ -289,7 +345,10 @@ func (s *Server) reanalyze(ctx context.Context, j *Job, jt *telemetry.Telemetry)
 	j.cfg = cfg
 	j.configHash = hash
 	j.mu.Unlock()
-	world, hit := s.cache.Fork(hash, cfg.World)
+	world, hit, err := s.cache.Fork(hash, cfg.World)
+	if err != nil {
+		return nil, err
+	}
 	j.mu.Lock()
 	j.cacheHit = hit
 	j.mu.Unlock()
@@ -479,14 +538,20 @@ func (s *Server) handleRunFetch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown run")
 		return
 	}
-	f, err := os.Open(s.store.RunPath(entry))
+	data, err := os.ReadFile(s.store.RunPath(entry))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	defer f.Close()
+	// Stored runs are framed on disk (format v2); clients get the
+	// checksum-verified JSON payload, not the frame.
+	payload, err := runio.DocumentPayload(data, runio.RunFormat)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	io.Copy(w, f) //nolint:errcheck
+	w.Write(payload) //nolint:errcheck
 }
 
 // debugVars is the GET /debug/vars payload: live queue/worker/job

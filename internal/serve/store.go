@@ -2,7 +2,9 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
@@ -10,6 +12,7 @@ import (
 	"crumbcruncher"
 	"crumbcruncher/internal/core"
 	"crumbcruncher/internal/runio"
+	"crumbcruncher/internal/telemetry"
 )
 
 // indexVersion is bumped when the run-index entry layout changes.
@@ -32,9 +35,12 @@ type RunEntry struct {
 // (re-analyzable with cmd/crumbreport or a "reanalyze" job) plus an
 // append-only JSONL index that survives restarts — reopening a store
 // replays the index, so GET /runs lists runs saved by earlier server
-// processes. Torn index tails (a crash mid-append) are dropped by the
-// runio line-file codec. Checkpoint files for draining jobs live in the
-// same directory.
+// processes. Opening scans and repairs: torn index tails are dropped by
+// the runio line-file codec, a corrupt index is quarantined and rebuilt
+// from its salvageable records, and entries whose run documents are
+// missing or damaged are dropped (counted on serve.store_dropped_runs,
+// never silently). Checkpoint files for draining jobs live in the same
+// directory.
 type Store struct {
 	dir     string
 	mu      sync.Mutex
@@ -43,26 +49,80 @@ type Store struct {
 	byID    map[string]RunEntry
 }
 
-// OpenStore opens (or creates) a run store rooted at dir.
-func OpenStore(dir string) (*Store, error) {
+// OpenStore opens (or creates) a run store rooted at dir, scanning and
+// repairing the index on the way up. tel (optional) counts the repairs:
+// runio.recovered_records / runio.quarantined_files from the line-file
+// layer, serve.store_dropped_runs for index entries that no longer
+// resolve to a readable run document.
+func OpenStore(dir string, tel *telemetry.Telemetry) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: store: %w", err)
 	}
 	want := runio.Header{Format: runio.IndexFormat, Version: indexVersion}
-	index, lines, err := runio.OpenLineFile(filepath.Join(dir, "index.jsonl"), want)
+	path := filepath.Join(dir, "index.jsonl")
+	opts := runio.OpenOptions{Tel: tel}
+	index, lines, err := runio.OpenLineFile(path, want)
+	if errors.Is(err, runio.ErrCorrupt) {
+		// The damaged index is quarantined; salvage what still verifies
+		// and rebuild. The run documents themselves are untouched.
+		var dmg *runio.DamageError
+		errors.As(err, &dmg)
+		tel.Counter("runio.quarantined_files").Inc()
+		salvaged, dropped, serr := runio.SalvageLineFile(dmg.Quarantined, want)
+		if serr != nil {
+			return nil, fmt.Errorf("serve: store: index corrupt and unsalvageable: %v (%w)", serr, err)
+		}
+		log.Printf("serve: store: index corrupt at record %d (quarantined to %s): salvaged %d entries, dropped %d",
+			dmg.Record, dmg.Quarantined, len(salvaged), dropped)
+		tel.Counter("runio.recovered_records").Add(int64(len(salvaged)))
+		index, err = runio.ReplaceLineFile(path, want, salvaged, opts)
+		lines = salvaged
+	}
 	if err != nil {
 		return nil, fmt.Errorf("serve: store: %w", err)
 	}
 	s := &Store{dir: dir, index: index, byID: make(map[string]RunEntry)}
+	var keep [][]byte
+	droppedRuns := 0
 	for _, line := range lines {
 		var e RunEntry
 		if err := json.Unmarshal(line, &e); err != nil {
-			break // schema mismatch in the tail: stop, like a torn write
+			droppedRuns++
+			log.Printf("serve: store: dropping unreadable index entry: %v", err)
+			continue
 		}
+		if err := s.verifyRun(e); err != nil {
+			droppedRuns++
+			log.Printf("serve: store: dropping run %s: %v", e.ID, err)
+			continue
+		}
+		keep = append(keep, line)
 		s.entries = append(s.entries, e)
 		s.byID[e.ID] = e
 	}
+	if droppedRuns > 0 {
+		// Persist the cleaned index atomically so the dropped entries do
+		// not resurface on the next boot.
+		tel.Counter("serve.store_dropped_runs").Add(int64(droppedRuns))
+		index.Close()
+		index, err = runio.ReplaceLineFile(path, want, keep, opts)
+		if err != nil {
+			return nil, fmt.Errorf("serve: store: rewrite index: %w", err)
+		}
+		s.index = index
+	}
 	return s, nil
+}
+
+// verifyRun checks that an index entry still points at a readable run
+// document: the file exists and, when framed, its checksum verifies.
+func (s *Store) verifyRun(e RunEntry) error {
+	data, err := os.ReadFile(s.RunPath(e))
+	if err != nil {
+		return err
+	}
+	_, err = runio.DocumentPayload(data, runio.RunFormat)
+	return err
 }
 
 // Save persists a completed run under id and appends its index entry.

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"crumbcruncher/internal/telemetry"
@@ -9,13 +11,21 @@ import (
 
 // worldCache shares immutable world templates between jobs with the
 // same configuration hash. The cached template is built once (guarded
-// by a per-entry sync.Once so concurrent first arrivals build exactly
-// one world and latecomers block on it, not on the whole cache) and is
-// never crawled itself: every job receives template.Fork(), a cheap
-// copy with fresh mutable state (network, clock, visit counts) over the
-// shared immutable structure. That split is what makes multi-tenancy
-// deterministic — N concurrent jobs cannot perturb each other through
-// the world because they never touch shared mutable state.
+// by a per-entry ready channel so concurrent first arrivals build
+// exactly one world and latecomers block on it, not on the whole cache)
+// and is never crawled itself: every job receives template.Fork(), a
+// cheap copy with fresh mutable state (network, clock, visit counts)
+// over the shared immutable structure. That split is what makes
+// multi-tenancy deterministic — N concurrent jobs cannot perturb each
+// other through the world because they never touch shared mutable
+// state.
+//
+// Panic isolation: a build that panics must not wedge every job that
+// hashes to the same key. The builder records the failure, evicts the
+// key — so the next job retries the build instead of inheriting a nil
+// world — closes the ready channel to release the waiters, and
+// re-panics so its own job fails through the worker's recover barrier.
+// Waiters see a build error, not a hang.
 //
 // The key is core.Config.Hash(), which normalizes scheduling knobs
 // away, so two jobs differing only in Parallelism or telemetry wiring
@@ -28,11 +38,15 @@ type worldCache struct {
 	entries map[string]*worldCacheEntry
 	hits    *telemetry.Counter
 	misses  *telemetry.Counter
+	// buildFn builds a template (web.BuildWorld in production; tests
+	// substitute panicking builders to exercise the isolation).
+	buildFn func(web.Config) *web.World
 }
 
 type worldCacheEntry struct {
-	once  sync.Once
+	ready chan struct{} // closed when world/err are final
 	world *web.World
+	err   error
 }
 
 func newWorldCache(tel *telemetry.Telemetry) *worldCache {
@@ -40,27 +54,51 @@ func newWorldCache(tel *telemetry.Telemetry) *worldCache {
 		entries: make(map[string]*worldCacheEntry),
 		hits:    tel.Counter("serve.world_cache_hits"),
 		misses:  tel.Counter("serve.world_cache_misses"),
+		buildFn: web.BuildWorld,
 	}
 }
 
 // Fork returns a fresh fork of the template for hash, building the
 // template from wc on first use, and reports whether the template was
-// already cached.
-func (c *worldCache) Fork(hash string, wc web.Config) (*web.World, bool) {
+// already cached. If the build (in this or a concurrent job) panicked,
+// Fork returns the build error; the key has already been evicted, so a
+// later job retries the build.
+func (c *worldCache) Fork(hash string, wc web.Config) (*web.World, bool, error) {
 	c.mu.Lock()
 	e, hit := c.entries[hash]
 	if !hit {
-		e = &worldCacheEntry{}
+		e = &worldCacheEntry{ready: make(chan struct{})}
 		c.entries[hash] = e
 	}
 	c.mu.Unlock()
+
 	if hit {
 		c.hits.Inc()
+		<-e.ready
 	} else {
 		c.misses.Inc()
+		c.build(hash, e, wc)
 	}
-	e.once.Do(func() { e.world = web.BuildWorld(wc) })
-	return e.world.Fork(), hit
+	if e.err != nil {
+		return nil, hit, e.err
+	}
+	return e.world.Fork(), hit, nil
+}
+
+// build constructs the entry's template, converting a builder panic
+// into an eviction + recorded error before re-panicking.
+func (c *worldCache) build(hash string, e *worldCacheEntry, wc web.Config) {
+	defer close(e.ready)
+	defer func() {
+		if r := recover(); r != nil {
+			e.err = fmt.Errorf("serve: world build panicked: %v\n%s", r, debug.Stack())
+			c.mu.Lock()
+			delete(c.entries, hash) // next job retries instead of inheriting the failure
+			c.mu.Unlock()
+			panic(r) // fail this job through the worker's recover barrier
+		}
+	}()
+	e.world = c.buildFn(wc)
 }
 
 // Len reports the number of cached templates.

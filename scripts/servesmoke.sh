@@ -109,24 +109,30 @@ while [ "$(job_state "$JOBBIG")" != "running" ]; do
 	sleep 0.1
 done
 
-kill -TERM "$SRV_PID"
+# The drain window can be milliseconds wide (the in-flight job stops at
+# the next walk boundary), so a polling loop started after the signal
+# can miss it entirely. Instead hammer /jobs continuously from just
+# before the signal: pre-signal probes get 202 (harmless extra jobs the
+# drain cancels), the drain window yields 503, and the closed listener
+# ends the loop with 000.
+: >"$work/drain_codes"
+(
+	while :; do
+		c="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/jobs" \
+			-d '{"small":true,"seed":9}' 2>/dev/null)" || c=000
+		echo "$c" >>"$work/drain_codes"
+		case "$c" in 000*) break ;; esac
+	done
+) &
+PROBE_PID=$!
 
-code=""
-i=0
-while [ "$i" -lt 50 ]; do
-	code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/jobs" \
-		-d '{"small":true,"seed":9}' 2>/dev/null || echo 000)"
-	[ "$code" = "503" ] && break
-	# 000/202 windows: the signal may not have landed yet, or the
-	# listener already closed (drain finished) — stop probing then.
-	[ "$code" = "000" ] && break
-	i=$((i + 1))
-	sleep 0.1
-done
-if [ "$code" = "503" ]; then
+kill -TERM "$SRV_PID"
+wait "$PROBE_PID"
+
+if grep -qx 503 "$work/drain_codes"; then
 	echo "OK: late submission during drain rejected with 503"
 else
-	echo "FAIL: late submission during drain got '$code', want 503" >&2
+	echo "FAIL: no late submission during drain saw 503 (codes: $(sort -u "$work/drain_codes" | tr '\n' ' '))" >&2
 	cat "$work/served.log" >&2
 	exit 1
 fi

@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-all chaos
+.PHONY: check build vet lint test race bench bench-all chaos scale
 
 check: build vet lint race chaos
 
@@ -41,6 +41,12 @@ race:
 # points, recovered metrics diffed byte-for-byte against clean runs.
 chaos:
 	scripts/chaossmoke.sh
+
+# Scale smoke: 100k-domain lazy world crawled into the segment store
+# under an RSS budget (warn-only), eager-vs-lazy and store-vs-crawl
+# metrics diffed byte-for-byte.
+scale:
+	scripts/scalesmoke.sh
 
 # The tracked benchmark set (full crawl, parallel re-analysis,
 # streaming-vs-batch engine), archived as BENCH_pr6.json for cross-run

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	crumbcruncher [-seed N] [-sites N] [-walks N] [-steps N] [-parallel N]
-//	              [-machines N] [-small] [-batch] [-save crawl.json]
+//	              [-machines N] [-small] [-lazy] [-batch] [-save crawl.json]
 //	              [-out report.txt] [-trace trace.jsonl] [-progress]
 //	              [-pprof localhost:6060] [-retries N] [-breaker N]
 //	              [-deadline D] [-resume ckpt.jsonl] [-fsync POLICY]
@@ -51,8 +51,9 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "worker-pool size for the crawl and the post-crawl analysis (0: config default)")
 		machines  = flag.Int("machines", 0, "simulated crawl machines walks are spread across (0: config default)")
 		small     = flag.Bool("small", false, "use the small demo configuration")
+		lazy      = flag.Bool("lazy", false, "generate sites on first visit instead of upfront (identical results; million-domain worlds in laptop memory)")
 		batch     = flag.Bool("batch", false, "run analysis as a separate batch phase after the crawl instead of streaming")
-		savePath  = flag.String("save", "", "save the crawl dataset to this JSON file")
+		savePath  = flag.String("save", "", "save the crawl to this path (.crumbs: sharded gzip segment store; otherwise one line file)")
 		outPath   = flag.String("out", "", "write the report here instead of stdout")
 		metrics   = flag.Bool("metrics", false, "emit machine-readable JSON metrics instead of the text report")
 		traceOut  = flag.String("trace", "", "enable telemetry and export the span trace to this JSONL file (inspect with crumbtrace)")
@@ -91,6 +92,7 @@ func main() {
 	if *machines > 0 {
 		cfg.Machines = *machines
 	}
+	cfg.World.Lazy = *lazy
 	cfg.BatchAnalysis = *batch
 	var opts []crumbcruncher.Option
 	if *retries > 0 {
@@ -213,7 +215,7 @@ func main() {
 	}
 
 	if *savePath != "" {
-		if err := crumbcruncher.SaveRun(*savePath, run); err != nil {
+		if err := crumbcruncher.SaveRunStore(*savePath, run); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "dataset saved to %s\n", *savePath)

@@ -1,17 +1,26 @@
-// Command crumbreport re-analyses a saved crawl dataset (produced with
+// Command crumbreport re-analyses a saved crawl (produced with
 // crumbcruncher -save) and prints the full report, optionally with
 // alternative UID-identification settings — the prior-work baselines the
-// paper compares against.
+// paper compares against. Runs are read through the RunStore API, so a
+// 100k-walk segment store streams walk by walk through the analysis
+// pipeline instead of being decoded into memory at once.
 //
 // Usage:
 //
-//	crumbreport -in crawl.json [-parallel N] [-two-crawlers] [-no-repeat]
-//	            [-lifetime-days N] [-ratcliff-slack F] [-skip-manual]
+//	crumbreport -in crawl.json [-metrics] [-parallel N] [-two-crawlers]
+//	            [-no-repeat] [-lifetime-days N] [-ratcliff-slack F]
+//	            [-skip-manual]
+//	crumbreport -in crawl.crumbs -walk 17        # dump one walk as JSON
+//	crumbreport -in crawl.crumbs -limit 5        # dump the first 5 walks
+//	crumbreport -in crawl.crumbs -walk 17 -limit 3
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -25,7 +34,10 @@ func main() {
 	log.SetPrefix("crumbreport: ")
 
 	var (
-		in       = flag.String("in", "", "saved crawl JSON (required)")
+		in       = flag.String("in", "", "saved crawl: line file, .crumbs segment dir, or legacy document (required)")
+		metrics  = flag.Bool("metrics", false, "emit metrics JSON instead of the text report")
+		walkIdx  = flag.Int("walk", -1, "dump walk N as JSON and exit (no analysis)")
+		limit    = flag.Int("limit", 0, "with -walk: dump N consecutive walks; alone: dump the first N walks")
 		par      = flag.Int("parallel", 0, "analysis worker-pool size (0: the saved config's; results identical)")
 		twoCrawl = flag.Bool("two-crawlers", false, "prior-work baseline: use only Safari-1 and Safari-2")
 		noRepeat = flag.Bool("no-repeat", false, "disable session-ID elimination via Safari-1R")
@@ -39,7 +51,22 @@ func main() {
 		os.Exit(2)
 	}
 
-	run, err := crumbcruncher.LoadRun(*in)
+	st, err := crumbcruncher.OpenRunStore(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close() //nolint:errcheck // read-only handle; process is exiting
+
+	// Spot inspection: print raw walks straight from the store — no
+	// world rebuild, no analysis, O(one segment) memory.
+	if *walkIdx >= 0 || *limit > 0 {
+		if err := dumpWalks(os.Stdout, st, *walkIdx, *limit); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	run, err := crumbcruncher.AnalyzeStore(context.Background(), st)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,5 +94,49 @@ func main() {
 		run.Cases, run.Stats, run.Analysis = cases, stats, an
 	}
 
+	if *metrics {
+		if err := crumbcruncher.WriteMetricsJSON(os.Stdout, run); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	crumbcruncher.WriteReport(os.Stdout, run)
+}
+
+// dumpWalks prints walks from the store as indented JSON, one document
+// per walk. walkIdx < 0 dumps the first limit walks by cursor; walkIdx
+// >= 0 dumps max(limit, 1) consecutive walks starting there.
+func dumpWalks(w io.Writer, st crumbcruncher.RunStore, walkIdx, limit int) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if walkIdx < 0 {
+		cur := st.Iter()
+		defer cur.Close() //nolint:errcheck // read-only cursor
+		for n := 0; n < limit; n++ {
+			walk, err := cur.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return nil
+				}
+				return err
+			}
+			if err := enc.Encode(walk); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	for idx := walkIdx; idx < walkIdx+limit; idx++ {
+		walk, err := st.Get(idx)
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(walk); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -26,9 +26,9 @@ package crumbcruncher
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 
 	"crumbcruncher/internal/analysis"
 	"crumbcruncher/internal/core"
@@ -37,6 +37,7 @@ import (
 	"crumbcruncher/internal/report"
 	"crumbcruncher/internal/resilience"
 	"crumbcruncher/internal/runio"
+	"crumbcruncher/internal/runstore"
 	"crumbcruncher/internal/telemetry"
 	"crumbcruncher/internal/uid"
 	"crumbcruncher/internal/web"
@@ -214,6 +215,11 @@ func Reanalyze(cfg Config, r *Run) (*Run, error) {
 // every analysis stage's shard pool from taking new work and returns
 // ctx's error.
 func ReanalyzeContext(ctx context.Context, cfg Config, r *Run) (*Run, error) {
+	if r.Dataset == nil {
+		// A store-loaded run has no decoded dataset; replay the walks
+		// through its analysis source instead.
+		return core.AnalyzeSource(ctx, cfg, r.World, r.Analysis.Source())
+	}
 	return core.AnalyzeContext(ctx, cfg, r.World, r.Dataset)
 }
 
@@ -257,10 +263,156 @@ const (
 	RunVersion = runio.RunVersion
 )
 
-// SavedRun is the on-disk form of a crawl: a versioned format header,
-// the configuration (to rebuild the deterministic world), the recorded
-// dataset, and a provenance block describing how and by what the file
-// was produced.
+// --- Run storage (RunStore API) ----------------------------------------------
+
+// RunStore is one recorded crawl behind a pluggable storage backend:
+// append walks as they complete, fetch one walk by index, or stream
+// the whole run through a cursor without ever materialising the
+// decoded dataset in memory. Two backends ship — a single CRC-framed
+// line file and a sharded, gzip-compressed segment directory with a
+// sidecar index (see internal/runstore) — and legacy SaveRun documents
+// open read-only through the same interface.
+type RunStore = runstore.Store
+
+// RunCursor iterates a RunStore's walks in ascending index order; Next
+// returns io.EOF after the last walk.
+type RunCursor = runstore.Cursor
+
+// RunManifest identifies a stored run: seed, crawler roster, walk
+// count, and the raw configuration and provenance documents.
+type RunManifest = runstore.Manifest
+
+// StoreBackend names a RunStore storage backend.
+type StoreBackend = runstore.Backend
+
+// The available RunStore backends. CreateRunStore picks the segment
+// backend for paths ending in ".crumbs" (or a path separator) and the
+// line backend otherwise.
+const (
+	BackendLine    = runstore.BackendLine
+	BackendSegment = runstore.BackendSegment
+)
+
+// runManifestFor builds the manifest a fresh store for cfg carries.
+func runManifestFor(cfg Config) (RunManifest, error) {
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		return RunManifest{}, fmt.Errorf("crumbcruncher: encode config: %w", err)
+	}
+	prov := telemetry.NewProvenance(cfg.World.Seed, cfg, cfg.Telemetry)
+	pblob, err := json.Marshal(&prov)
+	if err != nil {
+		return RunManifest{}, fmt.Errorf("crumbcruncher: encode provenance: %w", err)
+	}
+	return RunManifest{
+		Header:     runio.Header{Seed: cfg.World.Seed},
+		Crawlers:   crawler.AllCrawlers,
+		Config:     blob,
+		Provenance: pblob,
+	}, nil
+}
+
+// CreateRunStore makes a new, empty run store at path for a crawl with
+// the given configuration. The backend follows the path: ".crumbs"
+// directories get the segment backend, plain files the line backend.
+func CreateRunStore(path string, cfg Config) (RunStore, error) {
+	m, err := runManifestFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return runstore.Create(path, runstore.DetectBackend(path), m)
+}
+
+// OpenRunStore opens an existing run store, sniffing the backend: a
+// directory is a segment store, a file is a line store or a legacy
+// single-document run (the deprecated SaveRun format, served
+// read-only).
+func OpenRunStore(path string) (RunStore, error) { return runstore.Open(path) }
+
+// SaveRunStore writes a completed run's crawl to a new store at path
+// and finalizes it. It replaces the deprecated SaveRun; pick the
+// segment backend (a ".crumbs" path) for large runs.
+func SaveRunStore(path string, r *Run) error {
+	st, err := CreateRunStore(path, r.Config)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if r.Dataset != nil {
+		for _, w := range r.Dataset.Walks {
+			if werr = st.Append(w); werr != nil {
+				break
+			}
+		}
+	} else {
+		// A store-analyzed run holds no dataset: replay the walks from
+		// the analysis source (i.e. the store it was loaded from).
+		werr = r.Analysis.Source().ForEachWalk(st.Append)
+	}
+	if werr != nil {
+		st.Close()
+		return werr
+	}
+	if err := st.Finalize(); err != nil {
+		st.Close()
+		return err
+	}
+	return st.Close()
+}
+
+// AnalyzeStore re-runs the analysis pipeline over a stored run by
+// cursor: walks stream through token extraction, lifetime scanning and
+// UID identification in index order, and the figure aggregation
+// replays the store on demand, so the decoded dataset is never
+// resident all at once. The returned Run has a nil Dataset and keeps
+// reading from st lazily — close st only after the Run is no longer
+// used. The synthetic world is rebuilt lazily from the stored
+// configuration; results are byte-identical to LoadRun on the same
+// walks.
+func AnalyzeStore(ctx context.Context, st RunStore) (*Run, error) {
+	m := st.Manifest()
+	var cfg Config
+	if len(m.Config) > 0 {
+		if err := json.Unmarshal(m.Config, &cfg); err != nil {
+			return nil, fmt.Errorf("crumbcruncher: stored config: %w", err)
+		}
+	}
+	if cfg.World.Seed == 0 {
+		cfg.World.Seed = m.Seed
+	}
+	// Lazy world: figures only consult the world's ground truth and
+	// lists, which are byte-identical in both modes, and a million-site
+	// stored run must not pay an eager rebuild just to render a report.
+	wcfg := cfg.World
+	wcfg.Lazy = true
+	world := web.BuildWorld(wcfg)
+	return core.AnalyzeStore(ctx, cfg, world, st)
+}
+
+// LoadRunStore opens the store at path and re-runs the analysis over
+// it by cursor. The returned Run reads walk records from the store
+// lazily for the figures that need them; the store is closed when the
+// process exits (use OpenRunStore + AnalyzeStore to manage the handle
+// explicitly).
+func LoadRunStore(path string) (*Run, error) {
+	st, err := OpenRunStore(path)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeStore(context.Background(), st)
+}
+
+// --- Deprecated single-document run APIs -------------------------------------
+
+// SavedRun is the single-document on-disk form of a crawl: a versioned
+// format header, the configuration (to rebuild the deterministic
+// world), the recorded dataset, and a provenance block describing how
+// and by what the file was produced.
+//
+// Deprecated: the document format requires decoding the entire run to
+// read any of it. New code records through the RunStore API
+// (CreateRunStore / SaveRunStore); existing documents keep loading via
+// OpenRunStore and LoadRun.
 type SavedRun struct {
 	runio.Header
 	Config     Config      `json:"config"`
@@ -271,6 +423,10 @@ type SavedRun struct {
 // EncodeRun writes a run's crawl as a versioned JSON document. When the
 // run was executed with telemetry attached, the provenance block
 // includes its metrics snapshot.
+//
+// Deprecated: use SaveRunStore, which writes the streamable RunStore
+// formats. EncodeRun remains for producing the legacy single-document
+// form and will keep working.
 func EncodeRun(w io.Writer, r *Run) error {
 	prov := telemetry.NewProvenance(r.Config.World.Seed, r.Config, r.Config.Telemetry)
 	doc := SavedRun{
@@ -289,6 +445,10 @@ func EncodeRun(w io.Writer, r *Run) error {
 // pipeline over it. The synthetic world is rebuilt deterministically
 // from the saved configuration. Documents from before the versioned
 // header are accepted.
+//
+// Deprecated: use OpenRunStore + AnalyzeStore (or LoadRunStore), which
+// stream the run by cursor instead of decoding it whole. DecodeRun
+// remains for in-memory readers of the legacy document form.
 func DecodeRun(rd io.Reader) (*Run, error) {
 	var saved SavedRun
 	want := runio.Header{Format: RunFormat, Version: RunVersion}
@@ -299,26 +459,27 @@ func DecodeRun(rd io.Reader) (*Run, error) {
 	return core.Analyze(saved.Config, world, saved.Dataset)
 }
 
-// SaveRun writes a run's crawl to a JSON file for later re-analysis with
-// cmd/crumbreport. See EncodeRun for the document format. The file lands
-// via temp-file + atomic rename, so path never holds a half-written run:
-// a crash mid-save leaves the previous content (or nothing), not a torn
-// document.
+// SaveRun writes a run's crawl to a file for later re-analysis with
+// cmd/crumbreport. The file lands atomically — a crash mid-save leaves
+// the previous content (or nothing), never a torn run.
+//
+// Deprecated: use SaveRunStore. SaveRun is a thin shim over it and now
+// writes the line-backend RunStore format (readable by LoadRun,
+// OpenRunStore and every current tool, but not by pre-RunStore
+// builds); writers that need the legacy single-document form call
+// EncodeRun directly.
 func SaveRun(path string, r *Run) error {
-	return runio.WriteFileAtomic(path, func(w io.Writer) error {
-		return EncodeRun(w, r)
-	})
+	return SaveRunStore(path, r)
 }
 
-// LoadRun reads a saved crawl file and re-runs the analysis pipeline
-// over it. See DecodeRun.
+// LoadRun reads a saved crawl and re-runs the analysis pipeline over
+// it. Every stored form loads: RunStore line files and segment
+// directories, and legacy single-document runs.
+//
+// Deprecated: use LoadRunStore (or OpenRunStore + AnalyzeStore to
+// manage the store handle). LoadRun is a thin shim over LoadRunStore.
 func LoadRun(path string) (*Run, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("crumbcruncher: load run: %w", err)
-	}
-	defer f.Close()
-	return DecodeRun(f)
+	return LoadRunStore(path)
 }
 
 // --- Countermeasures (§7) ---------------------------------------------------

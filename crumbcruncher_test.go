@@ -36,13 +36,13 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "crawl.json")
-	if err := crumbcruncher.SaveRun(path, run); err != nil {
+	if err := crumbcruncher.SaveRunStore(path, run); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
 		t.Fatalf("saved file: %v %v", fi, err)
 	}
-	loaded, err := crumbcruncher.LoadRun(path)
+	loaded, err := crumbcruncher.LoadRunStore(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestLoadRunMissingFile(t *testing.T) {
-	if _, err := crumbcruncher.LoadRun(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+	if _, err := crumbcruncher.LoadRunStore(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Fatal("expected error")
 	}
 }

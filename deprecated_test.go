@@ -1,7 +1,10 @@
 package crumbcruncher_test
 
 import (
+	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -9,10 +12,11 @@ import (
 )
 
 // This file is the only place the deprecated package-level wrappers may
-// be called: it pins their behaviour to the Runner API they delegate
-// to. Everywhere else a call to Execute, ExecuteContext or Reanalyze is
-// a crumblint noentry violation, which is why every call below carries
-// a //crumb:allow noentry directive.
+// be called: it pins their behaviour to the Runner and RunStore APIs
+// they delegate to. Everywhere else a call to Execute, ExecuteContext,
+// Reanalyze, SaveRun, LoadRun, EncodeRun or DecodeRun is a crumblint
+// noentry violation, which is why every call below carries a
+// //crumb:allow noentry directive.
 
 func metricsOf(t *testing.T, run *crumbcruncher.Run) string {
 	t.Helper()
@@ -64,5 +68,67 @@ func TestDeprecatedWrappersMatchRunner(t *testing.T) {
 	}
 	if metricsOf(t, gotRerun) != metricsOf(t, wantRerun) {
 		t.Error("Reanalyze diverged from NewRunner(cfg).Reanalyze")
+	}
+}
+
+// TestDeprecatedStorageWrappersMatchRunStore pins the legacy run
+// storage API: SaveRun now writes through the RunStore line backend,
+// LoadRun opens any store format, and EncodeRun/DecodeRun keep the
+// single-document shape for downstream tools — all reproducing the
+// original run's metrics exactly.
+func TestDeprecatedStorageWrappersMatchRunStore(t *testing.T) {
+	cfg := crumbcruncher.SmallConfig()
+	cfg.Walks = 15
+	run, err := crumbcruncher.NewRunner(cfg).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := metricsOf(t, run)
+
+	dir := t.TempDir()
+	savePath := filepath.Join(dir, "crawl.json")
+	//crumb:allow noentry deprecation coverage for the legacy wrapper
+	if err := crumbcruncher.SaveRun(savePath, run); err != nil {
+		t.Fatal(err)
+	}
+	//crumb:allow noentry deprecation coverage for the legacy wrapper
+	loaded, err := crumbcruncher.LoadRun(savePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metricsOf(t, loaded) != wantJSON {
+		t.Error("SaveRun/LoadRun round trip diverged from the original run")
+	}
+	// SaveRun must produce the RunStore line format, not the legacy
+	// document: the new API opens it directly.
+	if _, err := crumbcruncher.OpenRunStore(savePath); err != nil {
+		t.Errorf("SaveRun output does not open as a run store: %v", err)
+	}
+
+	var buf bytes.Buffer
+	//crumb:allow noentry deprecation coverage for the legacy wrapper
+	if err := crumbcruncher.EncodeRun(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	//crumb:allow noentry deprecation coverage for the legacy wrapper
+	decoded, err := crumbcruncher.DecodeRun(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metricsOf(t, decoded) != wantJSON {
+		t.Error("EncodeRun/DecodeRun round trip diverged from the original run")
+	}
+	// The legacy document also opens read-only through the RunStore API.
+	legacyPath := filepath.Join(dir, "legacy.json")
+	if err := os.WriteFile(legacyPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := crumbcruncher.OpenRunStore(legacyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Walks() != run.Dataset.WalkCount() {
+		t.Errorf("legacy store holds %d walks, want %d", st.Walks(), run.Dataset.WalkCount())
 	}
 }

@@ -19,9 +19,23 @@ import (
 	"crumbcruncher/internal/uid"
 )
 
+// WalkSource abstracts where walk records come from: an in-memory
+// crawler.Dataset or a store cursor replaying them from disk. Every
+// figure that scans walks goes through this interface, so a
+// store-backed analysis produces byte-identical output to an in-memory
+// one by construction. ForEachWalk must deliver walks in ascending
+// index order; Walk returns nil for an unknown index.
+type WalkSource interface {
+	WalkCount() int
+	StepCount() int
+	OutcomeCounts() map[crawler.StepOutcome]int
+	ForEachWalk(fn func(*crawler.Walk) error) error
+	Walk(idx int) *crawler.Walk
+}
+
 // Analysis holds the crawl products and the indexes derived from them.
 type Analysis struct {
-	ds    *crawler.Dataset
+	src   WalkSource
 	paths []*tokens.Path
 	cases []*uid.Case
 
@@ -98,9 +112,17 @@ func NewInstrumented(ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Cas
 // aggregation pools from taking new chunks and returns ctx's error with
 // a nil Analysis.
 func NewContext(ctx context.Context, ds *crawler.Dataset, paths []*tokens.Path, cases []*uid.Case, parallelism int, tel *telemetry.Telemetry) (*Analysis, error) {
+	return NewFromSource(ctx, ds, paths, cases, parallelism, tel)
+}
+
+// NewFromSource builds the analysis over any WalkSource — an in-memory
+// dataset or a run store replayed by cursor — so 100k-walk runs can be
+// analysed without the decoded dataset ever being resident at once.
+// Output is byte-identical to the dataset path for the same walks.
+func NewFromSource(ctx context.Context, src WalkSource, paths []*tokens.Path, cases []*uid.Case, parallelism int, tel *telemetry.Telemetry) (*Analysis, error) {
 	reg := tel.Registry()
 	a := &Analysis{
-		ds:             ds,
+		src:            src,
 		paths:          paths,
 		cases:          cases,
 		urlPaths:       map[string]*pathAgg{},
@@ -234,6 +256,16 @@ func NewContext(ctx context.Context, ds *crawler.Dataset, paths []*tokens.Path, 
 
 // Cases returns the confirmed UID cases.
 func (a *Analysis) Cases() []*uid.Case { return a.cases }
+
+// Source returns the walk source the analysis was built over.
+func (a *Analysis) Source() WalkSource { return a.src }
+
+// WalkCount returns the number of walks in the analysed crawl.
+func (a *Analysis) WalkCount() int { return a.src.WalkCount() }
+
+// StepCount returns the number of attempted steps in the analysed
+// crawl.
+func (a *Analysis) StepCount() int { return a.src.StepCount() }
 
 // Summary is the paper's Table 2.
 type Summary struct {

@@ -68,7 +68,7 @@ func (a *Analysis) ThirdPartyReceivers(n int) []stats.Entry {
 		}
 	}
 	counter := stats.NewCounter()
-	for _, w := range a.ds.Walks {
+	a.src.ForEachWalk(func(w *crawler.Walk) error {
 		for _, s := range w.Steps {
 			for _, rec := range s.Records {
 				if rec.LandedURL == "" {
@@ -93,7 +93,8 @@ func (a *Analysis) ThirdPartyReceivers(n int) []stats.Entry {
 				}
 			}
 		}
-	}
+		return nil
+	})
 	return counter.Top(n)
 }
 
@@ -332,8 +333,8 @@ type FailureRates struct {
 
 // FailureRates computes the §3.3 failure fractions.
 func (a *Analysis) FailureRates() FailureRates {
-	counts := a.ds.OutcomeCounts()
-	total := a.ds.StepCount()
+	counts := a.src.OutcomeCounts()
+	total := a.src.StepCount()
 	if total == 0 {
 		return FailureRates{}
 	}
@@ -355,7 +356,7 @@ func (a *Analysis) FailureRates() FailureRates {
 			failed[d] = true
 		}
 	}
-	for _, w := range a.ds.Walks {
+	a.src.ForEachWalk(func(w *crawler.Walk) error {
 		if rec := w.SeedLoad[crawler.Safari1]; rec != nil {
 			visit(rec.StartURL, isConnectFail(rec.Fail))
 		}
@@ -370,7 +371,8 @@ func (a *Analysis) FailureRates() FailureRates {
 				visit(rec.NavChain[len(rec.NavChain)-1].URL, true)
 			}
 		}
-	}
+		return nil
+	})
 	f.SitesAttempted = len(attempted)
 	if len(attempted) > 0 {
 		f.ConnectError = float64(len(failed)) / float64(len(attempted))
@@ -434,7 +436,7 @@ func (a *Analysis) Resilience() ResilienceStats {
 			}
 		}
 	}
-	for _, w := range a.ds.Walks {
+	a.src.ForEachWalk(func(w *crawler.Walk) error {
 		for _, rec := range w.SeedLoad {
 			scan(rec)
 		}
@@ -443,7 +445,8 @@ func (a *Analysis) Resilience() ResilienceStats {
 				scan(rec)
 			}
 		}
-	}
+		return nil
+	})
 	attempted := len(ok)
 	for d := range failed {
 		if ok[d] {

@@ -56,10 +56,10 @@ func (a *Analysis) sourceOfCase(cand *tokens.Candidate) TokenSource {
 
 // recordFor finds the crawler record behind a candidate.
 func (a *Analysis) recordFor(cand *tokens.Candidate) *crawler.CrawlerStep {
-	if cand.Walk < 0 || cand.Walk >= len(a.ds.Walks) {
+	w := a.src.Walk(cand.Walk)
+	if w == nil {
 		return nil
 	}
-	w := a.ds.Walks[cand.Walk]
 	if cand.Step < 1 || cand.Step > len(w.Steps) {
 		return nil
 	}
@@ -86,7 +86,7 @@ type StepFailureRow struct {
 func (a *Analysis) FailuresByStep() []StepFailureRow {
 	maxStep := 0
 	counts := map[int]map[crawler.StepOutcome]int{}
-	for _, w := range a.ds.Walks {
+	a.src.ForEachWalk(func(w *crawler.Walk) error {
 		for _, s := range w.Steps {
 			if s.Index > maxStep {
 				maxStep = s.Index
@@ -98,7 +98,8 @@ func (a *Analysis) FailuresByStep() []StepFailureRow {
 			}
 			m[s.Outcome]++
 		}
-	}
+		return nil
+	})
 	out := make([]StepFailureRow, 0, maxStep)
 	for i := 1; i <= maxStep; i++ {
 		m := counts[i]

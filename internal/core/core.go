@@ -239,17 +239,20 @@ func (cfg Config) walkCount(world *web.World) int {
 	if cfg.Walks > 0 {
 		return cfg.Walks
 	}
-	return len(world.Seeders())
+	return world.NumSeeders()
 }
 
 // crawlConfig translates the run configuration into the crawler's: every
 // crawl-affecting knob (including Machines and NoIframes — see their
 // field docs) must pass through here rather than being hard-coded.
 func (cfg Config) crawlConfig(world *web.World) crawler.Config {
+	// Walk i seeds from Seeders[i mod len], so a k-walk crawl only ever
+	// consults the first min(k, NumSites) seeders — at million-site
+	// scale the full Tranco-style list is never materialised.
 	return crawler.Config{
 		Seed:             cfg.World.Seed,
 		Network:          world.Network(),
-		Seeders:          world.Seeders(),
+		Seeders:          world.SeedersN(cfg.walkCount(world)),
 		Walks:            cfg.Walks,
 		StepsPerWalk:     cfg.StepsPerWalk,
 		Parallelism:      cfg.Parallelism,
@@ -349,7 +352,12 @@ func (r *Run) Reidentify(opt uid.Options) ([]*uid.Case, uid.Stats, *analysis.Ana
 		opt.Parallelism = par
 	}
 	cases, stats := uid.Identify(r.Candidates, opt)
-	return cases, stats, analysis.NewParallel(r.Dataset, r.Paths, cases, par)
+	var src analysis.WalkSource = r.Dataset
+	if r.Dataset == nil {
+		src = r.Analysis.Source() // store-backed run: replay from the store
+	}
+	agg, _ := analysis.NewFromSource(context.Background(), src, r.Paths, cases, par, nil)
+	return cases, stats, agg
 }
 
 // Attributor builds the paper's two-stage organisation attribution: the
@@ -423,7 +431,20 @@ func (r *Run) EvaluateTruth() TruthEval {
 // evaluation-only code.
 func (r *Run) MissedRefererTransfers() int {
 	truth := r.World.Truth()
-	return CountRefererTransfers(r.Dataset, truth.IsUIDParam)
+	if r.Dataset != nil {
+		return CountRefererTransfers(r.Dataset, truth.IsUIDParam)
+	}
+	// A store-backed run (AnalyzeStore) has no resident dataset: replay
+	// the walks through the analysis source instead. The per-walk count
+	// dedups on keys embedding the walk index, so replay order cannot
+	// change the total.
+	seen := map[string]bool{}
+	count := 0
+	r.Analysis.Source().ForEachWalk(func(w *crawler.Walk) error {
+		count += countWalkRefererTransfers(w, truth.IsUIDParam, seen)
+		return nil
+	})
+	return count
 }
 
 // CountRefererTransfers counts cross-site navigations whose Referer query
@@ -434,39 +455,48 @@ func CountRefererTransfers(ds *crawler.Dataset, isUID func(param string) bool) i
 	seen := map[string]bool{}
 	count := 0
 	for _, w := range ds.Walks {
-		for _, s := range w.Steps {
-			for name, rec := range s.Records {
-				for _, req := range rec.Requests {
-					if req.Kind != "navigation" || req.Referer == "" {
+		count += countWalkRefererTransfers(w, isUID, seen)
+	}
+	return count
+}
+
+// countWalkRefererTransfers folds one walk into the referer-transfer
+// count. The dedup keys embed the walk index, so the tally is the same
+// whether walks arrive from a dataset slice or a store cursor.
+func countWalkRefererTransfers(w *crawler.Walk, isUID func(param string) bool, seen map[string]bool) int {
+	count := 0
+	for _, s := range w.Steps {
+		for name, rec := range s.Records {
+			for _, req := range rec.Requests {
+				if req.Kind != "navigation" || req.Referer == "" {
+					continue
+				}
+				ref, err := url.Parse(req.Referer)
+				if err != nil {
+					continue
+				}
+				target, err := url.Parse(req.URL)
+				if err != nil {
+					continue
+				}
+				if publicsuffix.SameSite(ref.Hostname(), target.Hostname()) {
+					continue
+				}
+				targetQ := target.Query()
+				for param, vs := range ref.Query() {
+					if !isUID(param) {
 						continue
 					}
-					ref, err := url.Parse(req.Referer)
-					if err != nil {
-						continue
+					if targetQ.Get(param) != "" {
+						continue // also in the URL: the pipeline sees it
 					}
-					target, err := url.Parse(req.URL)
-					if err != nil {
-						continue
-					}
-					if publicsuffix.SameSite(ref.Hostname(), target.Hostname()) {
-						continue
-					}
-					targetQ := target.Query()
-					for param, vs := range ref.Query() {
-						if !isUID(param) {
-							continue
-						}
-						if targetQ.Get(param) != "" {
-							continue // also in the URL: the pipeline sees it
-						}
-						// Count every value of a repeated parameter, not
-						// just the first.
-						for _, v := range vs {
-							key := fmt.Sprintf("%d/%d/%s/%s/%s", w.Index, s.Index, name, param, v)
-							if !seen[key] {
-								seen[key] = true
-								count++
-							}
+					// Count every value of a repeated parameter, not
+					// just the first.
+					for _, v := range vs {
+						key := fmt.Sprintf("%d/%d/%s/%s/%s", w.Index, s.Index, name, param, v)
+						if !seen[key] {
+							seen[key] = true
+							count++
 						}
 					}
 				}

@@ -144,6 +144,36 @@ type Dataset struct {
 	Walks    []*Walk  `json:"walks"`
 }
 
+// WalkCount returns the number of recorded walks.
+func (d *Dataset) WalkCount() int { return len(d.Walks) }
+
+// ForEachWalk calls fn for every walk in recorded order, stopping at
+// the first error. It implements the walk-source contract the analysis
+// layer shares with store-backed datasets.
+func (d *Dataset) ForEachWalk(fn func(*Walk) error) error {
+	for _, w := range d.Walks {
+		if err := fn(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Walk returns the walk with the given index, or nil when the dataset
+// has no such walk. Datasets record walks at their index position, but
+// a degraded or filtered dataset may not, so the position is verified.
+func (d *Dataset) Walk(idx int) *Walk {
+	if idx >= 0 && idx < len(d.Walks) && d.Walks[idx] != nil && d.Walks[idx].Index == idx {
+		return d.Walks[idx]
+	}
+	for _, w := range d.Walks {
+		if w.Index == idx {
+			return w
+		}
+	}
+	return nil
+}
+
 // Steps returns all steps across all walks in order.
 func (d *Dataset) Steps() []*Step {
 	var out []*Step

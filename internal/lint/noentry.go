@@ -14,9 +14,11 @@ import (
 // false positives.
 var NoEntry = &analysis.Analyzer{
 	Name: "noentry",
-	Doc: "forbid deprecated entry points (Execute, ExecuteContext, Reanalyze)\n\n" +
-		"Everything in the repository must use the Runner API; the wrappers\n" +
-		"stay only for downstream compatibility and their own deprecation tests.",
+	Doc: "forbid deprecated entry points (Execute, ExecuteContext, Reanalyze,\n" +
+		"SaveRun, LoadRun, EncodeRun, DecodeRun)\n\n" +
+		"Everything in the repository must use the Runner API and the RunStore\n" +
+		"storage API; the wrappers stay only for downstream compatibility and\n" +
+		"their own deprecation tests.",
 	Run: runNoEntry,
 }
 
@@ -29,6 +31,10 @@ var deprecatedEntry = map[string]string{
 	"Execute":        "NewRunner(cfg).Run(ctx)",
 	"ExecuteContext": "NewRunner(cfg).Run(ctx)",
 	"Reanalyze":      "NewRunner(cfg).Reanalyze(ctx, run) or ReanalyzeContext(ctx, cfg, run)",
+	"SaveRun":        "SaveRunStore(path, run)",
+	"LoadRun":        "OpenRunStore(path) + AnalyzeStore(ctx, st), or LoadRunStore(path)",
+	"EncodeRun":      "SaveRunStore(path, run)",
+	"DecodeRun":      "OpenRunStore(path) + AnalyzeStore(ctx, st)",
 }
 
 func runNoEntry(pass *analysis.Pass) (interface{}, error) {

@@ -1,0 +1,71 @@
+package maporder
+
+// Resolver-style fixtures: a lazy world derives sites on first visit
+// and keeps them in a cache map keyed by domain. Anything that walks
+// that cache to produce output must iterate sorted keys, or the
+// resolver's visit order leaks into reports and saved runs.
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+type site struct {
+	Domain string
+	Hosts  []string
+}
+
+type resolverCache struct {
+	sites map[string]*site
+}
+
+func (c *resolverCache) badHostList() []string {
+	var hosts []string
+	for _, s := range c.sites {
+		hosts = append(hosts, s.Hosts...) // want `append to hosts inside range over a map`
+	}
+	return hosts
+}
+
+func (c *resolverCache) sortedHostList() []string {
+	var hosts []string
+	for _, s := range c.sites {
+		hosts = append(hosts, s.Hosts...) // sorted below: deterministic
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+func (c *resolverCache) sortedDomainsFirst() []string {
+	domains := make([]string, 0, len(c.sites))
+	for d := range c.sites {
+		domains = append(domains, d) // sorted below: the canonical idiom
+	}
+	sort.Strings(domains)
+	var hosts []string
+	for _, d := range domains {
+		hosts = append(hosts, c.sites[d].Hosts...) // slice range: deterministic
+	}
+	return hosts
+}
+
+func (c *resolverCache) badDump(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range c.sites {
+		if err := enc.Encode(s); err != nil { // want `Encode inside range over a map`
+			return err
+		}
+	}
+	return nil
+}
+
+// Keyed aggregation commutes: deriving a per-domain index from the
+// cache needs no sort, matching the generator's collectorsByDest build.
+func (c *resolverCache) hostIndex() map[string][]string {
+	idx := make(map[string][]string)
+	for d, s := range c.sites {
+		idx[d] = append(idx[d], s.Hosts...)
+	}
+	return idx
+}

@@ -22,6 +22,19 @@ func good(cfg crumbcruncher.Config, run *crumbcruncher.Run) {
 	_, _ = crumbcruncher.ReanalyzeContext(context.Background(), cfg, run)
 }
 
-func waived(cfg crumbcruncher.Config) {
-	_, _ = crumbcruncher.Execute(cfg) //crumb:allow noentry fixture: deprecation coverage
+func badStorage(run *crumbcruncher.Run) {
+	_ = crumbcruncher.SaveRun("crawl.json", run)       // want `SaveRun is a deprecated entry point`
+	_, _ = crumbcruncher.LoadRun("crawl.json")         // want `LoadRun is a deprecated entry point`
+	_ = crumbcruncher.EncodeRun(nil, run)              // want `EncodeRun is a deprecated entry point`
+	_, _ = crumbcruncher.DecodeRun(nil)                // want `DecodeRun is a deprecated entry point`
+}
+
+func goodStorage(run *crumbcruncher.Run) {
+	_ = crumbcruncher.SaveRunStore("crawl.crumbs", run)
+	_, _ = crumbcruncher.OpenRunStore("crawl.crumbs")
+}
+
+func waived(cfg crumbcruncher.Config, run *crumbcruncher.Run) {
+	_, _ = crumbcruncher.Execute(cfg)            //crumb:allow noentry fixture: deprecation coverage
+	_ = crumbcruncher.SaveRun("crawl.json", run) //crumb:allow noentry fixture: deprecation coverage
 }

@@ -49,6 +49,13 @@ type Network struct {
 	mu    sync.RWMutex
 	hosts map[string]http.Handler
 
+	// resolver, when set, is consulted on a miss in the host registry:
+	// it may register handlers for the host (lazy worlds materialise the
+	// owning site here), after which the lookup is retried once. It must
+	// be deterministic: resolution happens on first visit, whenever that
+	// is.
+	resolver func(host string)
+
 	faults   *FaultInjector
 	latency  *LatencyModel
 	clock    *VirtualClock
@@ -151,6 +158,16 @@ func (n *Network) SetRequestDeadline(d time.Duration) { n.deadline = d }
 
 // Clock returns the network's virtual clock.
 func (n *Network) Clock() *VirtualClock { return n.clock }
+
+// SetResolver installs a lazy host resolver, called (outside the
+// registry lock) when a request targets an unregistered host. The
+// resolver registers any handlers it can for the host via Handle; the
+// lookup is then retried once, and still-unknown hosts fail with
+// ErrUnknownHost as usual. Must be set before the network is shared
+// with concurrent users; passing nil removes it.
+func (n *Network) SetResolver(fn func(host string)) {
+	n.resolver = fn
+}
 
 // Handle registers handler for the exact host (no port). Registering the
 // same host twice replaces the handler.
@@ -282,6 +299,14 @@ func (n *Network) RoundTrip(req *http.Request) (*http.Response, error) {
 	n.mu.RLock()
 	handler, ok := n.hosts[host]
 	n.mu.RUnlock()
+	if !ok && n.resolver != nil {
+		// Lazy registration: let the resolver materialise the host's
+		// handlers, then retry the lookup once.
+		n.resolver(host)
+		n.mu.RLock()
+		handler, ok = n.hosts[host]
+		n.mu.RUnlock()
+	}
 	if !ok {
 		n.failures.Inc()
 		n.unknownHosts.Inc()

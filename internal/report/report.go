@@ -90,7 +90,7 @@ func BarChart(w io.Writer, title string, entries []stats.Entry, width int) {
 func Render(w io.Writer, r *core.Run) {
 	s := r.Analysis.Summarize()
 	fmt.Fprintf(w, "CrumbCruncher measurement report (seed %d, %d walks, %d steps)\n\n",
-		r.Config.World.Seed, len(r.Dataset.Walks), r.Dataset.StepCount())
+		r.Config.World.Seed, r.Analysis.WalkCount(), r.Analysis.StepCount())
 
 	// Headline (§5).
 	fmt.Fprintf(w, "UID smuggling on %.2f%% of unique URL paths (paper: 8.11%%)\n", 100*r.Analysis.SmugglingRate())

@@ -374,6 +374,40 @@ func (lf *LineFile) Close() error {
 	return err
 }
 
+// Records parses an in-memory line-file image — a header line followed
+// by entry records, framed or legacy — validating every frame and the
+// header against want, and returns the raw entry payloads in order.
+// Unlike OpenLineFile there is no file to repair, so any damage —
+// including a torn tail — surfaces as a *DamageError; callers holding
+// a sealed artifact (e.g. a compressed run segment) treat every kind as
+// corruption.
+func Records(data []byte, want Header) ([][]byte, error) {
+	sc := scanLines(data, want)
+	if sc.damage != nil {
+		if sc.damage.check != nil {
+			return nil, sc.damage.check
+		}
+		return nil, sc.damage
+	}
+	return sc.entries, nil
+}
+
+// AppendRecord frames one raw JSON payload exactly as LineFile.Append
+// would and appends it to buf — the writer-side counterpart of Records
+// for building sealed artifacts in memory.
+func AppendRecord(buf []byte, payload []byte) []byte {
+	return append(buf, buildFrame(payload)...)
+}
+
+// HeaderRecord frames a header line for a sealed artifact image.
+func HeaderRecord(h Header) ([]byte, error) {
+	payload, err := json.Marshal(h)
+	if err != nil {
+		return nil, err
+	}
+	return buildFrame(payload), nil
+}
+
 // SalvageLineFile reads as many intact records as possible out of a
 // damaged (typically quarantined) line file: records that fail their
 // checksum or framing are skipped — counted, never silently — and

@@ -42,6 +42,14 @@ const (
 	// IndexFormat is the serve layer's run-store index: one line per
 	// persisted run, appended as jobs complete.
 	IndexFormat = "crumbcruncher/run-index"
+	// WalksFormat is a runstore line-file backend: a manifest record
+	// followed by one framed record per walk.
+	WalksFormat = "crumbcruncher/run-walks"
+	// SegmentFormat is one walk segment of a runstore segment backend.
+	SegmentFormat = "crumbcruncher/run-segment"
+	// SegmentIndexFormat is the segment backend's sidecar index: one
+	// record per sealed segment, mapping walk indices to segment files.
+	SegmentIndexFormat = "crumbcruncher/run-segment-index"
 )
 
 // RunVersion is bumped when the saved-run document layout changes.
@@ -134,6 +142,13 @@ func (e *DamageError) Error() string {
 
 // Unwrap exposes the ErrTorn / ErrCorrupt sentinel for errors.Is.
 func (e *DamageError) Unwrap() error { return e.kind }
+
+// NewCorruptError builds a DamageError wrapping ErrCorrupt for damage
+// detected outside this package's own readers — e.g. a compressed run
+// segment whose bytes fail verification after decompression.
+func NewCorruptError(format, path, quarantined string) *DamageError {
+	return &DamageError{Format: format, Path: path, Quarantined: quarantined, Offset: -1, Record: -1, kind: ErrCorrupt}
+}
 
 // --- Documents ---------------------------------------------------------------
 

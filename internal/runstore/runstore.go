@@ -1,0 +1,224 @@
+// Package runstore is the pluggable storage API in front of
+// internal/runio for recorded crawls. A Store holds one crawl — a
+// manifest (seed, config, provenance) plus the walk records — behind a
+// backend-neutral interface: append walks as they complete, fetch a
+// single walk by index, or iterate the whole run in walk order through
+// a cursor, all without ever materialising the complete dataset in
+// memory.
+//
+// Two backends ship (DESIGN.md §13):
+//
+//   - line: a single CRC-framed JSONL file (the runio.LineFile format
+//     the checkpoint layer already uses). Simple, greppable, and the
+//     natural migration target for the old single-document SaveRun
+//     files. Random access decodes from an in-memory raw-record table,
+//     so memory is O(compressed file), not O(decoded dataset).
+//   - segment: a directory of fixed-size walk segments, gzip-compressed
+//     as they seal, with a sidecar index for random access and an
+//     atomically rewritten manifest. Memory is O(one segment); this is
+//     the backend for 100k-walk datasets.
+//
+// Legacy single-document SaveRun files open read-only through the same
+// interface, so every reader in the tree speaks runstore regardless of
+// how a run was written. The package depends only on crawler and runio;
+// analysis layers sit above it.
+package runstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"crumbcruncher/internal/crawler"
+	"crumbcruncher/internal/runio"
+)
+
+// Manifest identifies a stored run: the versioned artifact header, the
+// crawler roster, the walk count (0 until Finalize on a store still
+// being written), and the raw configuration and provenance documents.
+// Config stays a raw JSON message so this package does not depend on
+// the core config type; callers decode it into their own Config.
+type Manifest struct {
+	runio.Header
+	Crawlers   []string        `json:"crawlers,omitempty"`
+	Walks      int             `json:"walks"`
+	Config     json.RawMessage `json:"config,omitempty"`
+	Provenance json.RawMessage `json:"provenance,omitempty"`
+}
+
+// Store is one recorded crawl behind a pluggable backend.
+type Store interface {
+	// Manifest returns the run's identity. Walks is authoritative only
+	// after Finalize; on a store being appended to it reports the count
+	// so far.
+	Manifest() Manifest
+	// Walks returns the number of walk records currently readable.
+	Walks() int
+	// Append records one completed walk. Walks may arrive out of index
+	// order (parallel crawls finish out of order); readers always see
+	// index order.
+	Append(w *crawler.Walk) error
+	// Get returns the walk with the given index, decoding only what
+	// that lookup needs. A missing index returns ErrNoWalk.
+	Get(idx int) (*crawler.Walk, error)
+	// Iter returns a cursor over all walks in ascending index order.
+	Iter() Cursor
+	// Finalize seals the store: flushes pending segments, stamps the
+	// final walk count into the manifest, and fsyncs. A finalized store
+	// remains readable; further Appends fail.
+	Finalize() error
+	// Close releases the store's file handles. Closing without
+	// Finalize leaves a resumable (crash-equivalent) store on disk.
+	Close() error
+}
+
+// Cursor iterates a store's walks in ascending index order. Next
+// returns io.EOF after the last walk.
+type Cursor interface {
+	Next() (*crawler.Walk, error)
+	Close() error
+}
+
+// ErrNoWalk is returned by Get for an index the store has no record of.
+var ErrNoWalk = fmt.Errorf("runstore: no such walk")
+
+// ErrFinalized is returned by Append on a store that has been sealed.
+var ErrFinalized = fmt.Errorf("runstore: store is finalized")
+
+// Backend names a storage backend.
+type Backend string
+
+const (
+	// BackendLine is the single CRC-framed line-file backend.
+	BackendLine Backend = "line"
+	// BackendSegment is the sharded, compressed segment-file backend.
+	BackendSegment Backend = "segment"
+)
+
+// SegmentSuffix marks a path as a segment-backend directory. DetectBackend
+// picks the segment backend for any path ending in it.
+const SegmentSuffix = ".crumbs"
+
+// DetectBackend picks the backend a fresh store at path should use:
+// segment for directory-style paths (trailing separator or the
+// SegmentSuffix), line otherwise.
+func DetectBackend(path string) Backend {
+	if strings.HasSuffix(path, "/") || strings.HasSuffix(path, SegmentSuffix) {
+		return BackendSegment
+	}
+	return BackendLine
+}
+
+// Create makes a new, empty store at path with the given backend and
+// manifest. The manifest's Walks field is ignored (stamped at
+// Finalize). Creating over an existing run fails rather than
+// truncating it.
+func Create(path string, backend Backend, m Manifest) (Store, error) {
+	m.Walks = 0
+	switch backend {
+	case BackendLine:
+		return createLine(path, m)
+	case BackendSegment:
+		return createSegment(path, m)
+	default:
+		return nil, fmt.Errorf("runstore: unknown backend %q", backend)
+	}
+}
+
+// Open opens an existing store at path, sniffing the backend: a
+// directory is a segment store; a file is a line store or — for runs
+// written by the deprecated SaveRun — a legacy single-document run,
+// served read-only through the same interface.
+func Open(path string) (Store, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: open %s: %w", path, err)
+	}
+	if fi.IsDir() {
+		return openSegment(path)
+	}
+	kind, err := sniffFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if kind == fileLegacy {
+		return openLegacy(path)
+	}
+	return openLine(path)
+}
+
+// fileKind classifies a run file on disk.
+type fileKind int
+
+const (
+	fileLine fileKind = iota
+	fileLegacy
+)
+
+// sniffFile distinguishes a line-backend walk file from a legacy
+// single-document SaveRun file without decoding either: a line store's
+// first frame carries the WalksFormat header; everything else — framed
+// run documents and pre-framing raw JSON — is legacy.
+func sniffFile(path string) (fileKind, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("runstore: open %s: %w", path, err)
+	}
+	defer f.Close()
+	buf := make([]byte, 4096)
+	n, _ := f.Read(buf)
+	head := buf[:n]
+	if i := bytes.IndexByte(head, '\n'); i >= 0 {
+		head = head[:i]
+	}
+	// Cheap containment check on the first line is enough: the header
+	// record is tiny and carries its format string verbatim.
+	if bytes.Contains(head, []byte(runio.WalksFormat)) {
+		return fileLine, nil
+	}
+	return fileLegacy, nil
+}
+
+// Copy streams every walk of src into dst and finalizes dst. It is the
+// cross-backend migration path (line → segment and back); the copied
+// walks are byte-identical records, so analyses over the two stores
+// agree exactly.
+func Copy(dst Store, src Store) error {
+	cur := src.Iter()
+	defer cur.Close()
+	for {
+		w, err := cur.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return err
+		}
+		if err := dst.Append(w); err != nil {
+			return err
+		}
+	}
+	return dst.Finalize()
+}
+
+// walkRecord is the on-disk form of one walk, shared by both backends.
+type walkRecord struct {
+	Index int           `json:"index"`
+	Walk  *crawler.Walk `json:"walk"`
+}
+
+// decodeWalk decodes one raw walk record payload.
+func decodeWalk(raw []byte) (*crawler.Walk, error) {
+	var rec walkRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, fmt.Errorf("runstore: decode walk record: %w", err)
+	}
+	if rec.Walk == nil {
+		return nil, fmt.Errorf("runstore: walk record %d has no walk", rec.Index)
+	}
+	return rec.Walk, nil
+}

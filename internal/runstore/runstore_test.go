@@ -1,0 +1,364 @@
+package runstore
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"crumbcruncher/internal/crawler"
+	"crumbcruncher/internal/runio"
+)
+
+func testWalk(i int) *crawler.Walk {
+	return &crawler.Walk{
+		Index:  i,
+		Seeder: fmt.Sprintf("site-%03d.example", i),
+		Steps: []*crawler.Step{
+			{Walk: i, Index: 1, Records: map[string]*crawler.CrawlerStep{
+				"safari1": {LandedURL: fmt.Sprintf("http://dest-%d.example/", i)},
+			}},
+		},
+	}
+}
+
+func testManifest(seed int64) Manifest {
+	return Manifest{
+		Header:   runio.Header{Seed: seed},
+		Crawlers: []string{"safari1", "safari2"},
+		Config:   json.RawMessage(`{"walks":5}`),
+	}
+}
+
+func drain(t *testing.T, st Store) []*crawler.Walk {
+	t.Helper()
+	cur := st.Iter()
+	defer cur.Close()
+	var out []*crawler.Walk
+	for {
+		w, err := cur.Next()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("cursor: %v", err)
+		}
+		out = append(out, w)
+	}
+}
+
+func backends(t *testing.T) map[Backend]string {
+	return map[Backend]string{
+		BackendLine:    filepath.Join(t.TempDir(), "run.walks"),
+		BackendSegment: filepath.Join(t.TempDir(), "run.crumbs"),
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	for backend, path := range backends(t) {
+		t.Run(string(backend), func(t *testing.T) {
+			st, err := Create(path, backend, testManifest(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Out-of-order appends: parallel crawls finish out of order.
+			for _, i := range []int{2, 0, 4, 1, 3} {
+				if err := st.Append(testWalk(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st.Finalize(); err != nil {
+				t.Fatal(err)
+			}
+			if st.Walks() != 5 {
+				t.Fatalf("walks = %d, want 5", st.Walks())
+			}
+			if err := st.Append(testWalk(9)); !errors.Is(err, ErrFinalized) {
+				t.Fatalf("append after finalize: %v", err)
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			ro, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ro.Close()
+			m := ro.Manifest()
+			if m.Seed != 7 || m.Walks != 5 || len(m.Crawlers) != 2 {
+				t.Fatalf("manifest: %+v", m)
+			}
+			got := drain(t, ro)
+			if len(got) != 5 {
+				t.Fatalf("cursor walks = %d, want 5", len(got))
+			}
+			for i, w := range got {
+				if !reflect.DeepEqual(w, testWalk(i)) {
+					t.Fatalf("walk %d differs: %+v", i, w)
+				}
+			}
+			w3, err := ro.Get(3)
+			if err != nil || w3.Seeder != "site-003.example" {
+				t.Fatalf("Get(3) = %+v, %v", w3, err)
+			}
+			if _, err := ro.Get(99); !errors.Is(err, ErrNoWalk) {
+				t.Fatalf("Get(99): %v", err)
+			}
+		})
+	}
+}
+
+func TestStoreResumeAfterClose(t *testing.T) {
+	for backend, path := range backends(t) {
+		t.Run(string(backend), func(t *testing.T) {
+			st, err := Create(path, backend, testManifest(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				if err := st.Append(testWalk(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Close without Finalize: a crash-equivalent store.
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st2, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st2.Walks() != 3 {
+				t.Fatalf("resumed walks = %d, want 3", st2.Walks())
+			}
+			for i := 3; i < 6; i++ {
+				if err := st2.Append(testWalk(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st2.Finalize(); err != nil {
+				t.Fatal(err)
+			}
+			got := drain(t, st2)
+			if len(got) != 6 {
+				t.Fatalf("walks after resume = %d, want 6", len(got))
+			}
+			st2.Close()
+		})
+	}
+}
+
+func TestSegmentSealing(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "big.crumbs")
+	st, err := Create(dir, BackendSegment, testManifest(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.(*segmentStore).segWalks = 4 // tiny segments for the test
+	const n = 11
+	for i := 0; i < n; i++ {
+		if err := st.Append(testWalk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	sealed, _ := filepath.Glob(filepath.Join(dir, "seg-*.sgz"))
+	if len(sealed) != 3 {
+		t.Fatalf("sealed segments = %d, want 3", len(sealed))
+	}
+	if open, _ := filepath.Glob(filepath.Join(dir, "seg-*.jsonl")); len(open) != 0 {
+		t.Fatalf("unsealed segments left after finalize: %v", open)
+	}
+	ro, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	got := drain(t, ro)
+	if len(got) != n {
+		t.Fatalf("walks = %d, want %d", len(got), n)
+	}
+	for i, w := range got {
+		if w.Index != i {
+			t.Fatalf("walk %d out of order: index %d", i, w.Index)
+		}
+	}
+}
+
+func TestCrossBackendCopy(t *testing.T) {
+	// line → segment → line must preserve every walk byte-for-byte.
+	lpath := filepath.Join(t.TempDir(), "src.walks")
+	src, err := Create(lpath, BackendLine, testManifest(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if err := src.Append(testWalk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	spath := filepath.Join(t.TempDir(), "mid.crumbs")
+	mid, err := Create(spath, BackendSegment, src.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Copy(mid, src); err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+
+	back, err := Create(filepath.Join(t.TempDir(), "back.walks"), BackendLine, mid.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Copy(back, mid); err != nil {
+		t.Fatal(err)
+	}
+	mid.Close()
+
+	a, b := drain(t, back), func() []*crawler.Walk {
+		out := make([]*crawler.Walk, 0, 9)
+		for i := 0; i < 9; i++ {
+			out = append(out, testWalk(i))
+		}
+		return out
+	}()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("walks changed across line → segment → line")
+	}
+	if m := back.Manifest(); m.Walks != 9 || m.Seed != 11 {
+		t.Fatalf("manifest after double copy: %+v", m)
+	}
+	back.Close()
+}
+
+func TestOpenLegacyDocument(t *testing.T) {
+	// A legacy single-document run (the deprecated SaveRun format) reads
+	// through the same Store interface.
+	path := filepath.Join(t.TempDir(), "legacy.json")
+	ds := &crawler.Dataset{Seed: 21, Crawlers: []string{"safari1"}}
+	for i := 0; i < 4; i++ {
+		ds.Walks = append(ds.Walks, testWalk(i))
+	}
+	doc := legacyDoc{
+		Header:  runio.Header{Format: runio.RunFormat, Version: runio.RunVersion, Seed: 21},
+		Config:  json.RawMessage(`{"walks":4}`),
+		Dataset: ds,
+	}
+	err := runio.WriteFileAtomic(path, func(w io.Writer) error {
+		return runio.WriteDocument(w, doc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if m := st.Manifest(); m.Seed != 21 || m.Walks != 4 {
+		t.Fatalf("legacy manifest: %+v", m)
+	}
+	if got := drain(t, st); len(got) != 4 {
+		t.Fatalf("legacy walks = %d, want 4", len(got))
+	}
+	if err := st.Append(testWalk(5)); err == nil {
+		t.Fatal("legacy store accepted an append")
+	}
+}
+
+// TestSegmentDamageMatrix corrupts sealed segments in every way the
+// damage taxonomy distinguishes and checks each is detected — never
+// silently decoded — and quarantined.
+func TestSegmentDamageMatrix(t *testing.T) {
+	build := func(t *testing.T) string {
+		dir := filepath.Join(t.TempDir(), "dmg.crumbs")
+		st, err := Create(dir, BackendSegment, testManifest(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.(*segmentStore).segWalks = 4
+		for i := 0; i < 8; i++ {
+			if err := st.Append(testWalk(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		st.Close()
+		return dir
+	}
+	seg0 := func(dir string) string { return segSealedPath(dir, 0) }
+
+	cases := []struct {
+		name   string
+		damage func(t *testing.T, path string)
+	}{
+		{"truncated-gzip", func(t *testing.T, path string) {
+			data, _ := os.ReadFile(path)
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bit-flip-in-gzip", func(t *testing.T, path string) {
+			data, _ := os.ReadFile(path)
+			data[len(data)/2] ^= 0x40
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"valid-gzip-corrupt-frames", func(t *testing.T, path string) {
+			// Re-gzip garbage: decompression succeeds, frame CRCs fail.
+			err := runio.WriteFileAtomic(path, func(w io.Writer) error {
+				gz := gzip.NewWriter(w)
+				if _, werr := gz.Write([]byte("!deadbeef!00000010!{\"not\":\"valid\"}\n")); werr != nil {
+					return werr
+				}
+				return gz.Close()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := build(t)
+			tc.damage(t, seg0(dir))
+			st, err := Open(dir)
+			if err != nil {
+				t.Fatal(err) // index and manifest are intact
+			}
+			defer st.Close()
+			_, gerr := st.Get(0)
+			if gerr == nil {
+				t.Fatal("damaged segment decoded without error")
+			}
+			if !errors.Is(gerr, runio.ErrCorrupt) {
+				t.Fatalf("damage not classified corrupt: %v", gerr)
+			}
+			if _, serr := os.Stat(seg0(dir) + ".corrupt"); serr != nil {
+				t.Fatalf("damaged segment not quarantined: %v", serr)
+			}
+			// Undamaged segments stay readable.
+			if w, err := st.Get(5); err != nil || w.Index != 5 {
+				t.Fatalf("healthy segment unreadable after quarantine: %v", err)
+			}
+		})
+	}
+}

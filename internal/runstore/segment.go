@@ -1,0 +1,486 @@
+package runstore
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"crumbcruncher/internal/crawler"
+	"crumbcruncher/internal/runio"
+)
+
+// Segment backend layout: a directory holding
+//
+//	manifest.json     framed manifest document, atomically rewritten
+//	segments.idx      line file: one record per sealed segment
+//	seg-NNNNNN.jsonl  the active (unsealed) segment, a runio.LineFile
+//	seg-NNNNNN.sgz    a sealed segment: gzip of the framed jsonl image
+//
+// Walks append to the active segment — a plain runio.LineFile, so the
+// CRC framing, fsync policy and chaos fault hooks all apply unchanged —
+// and every segWalks records the segment seals: its bytes are
+// re-framed, gzipped and land via atomic rename, the jsonl is removed,
+// and the sidecar index gains a {seg, indices} record. A crash between
+// any two steps leaves either the jsonl (recovered and re-adopted on
+// open, exactly like a checkpoint) or the sealed sgz — never neither.
+// Reading is O(one segment) of memory: the index maps a walk to its
+// segment, the segment gunzips, and every record's checksum verifies
+// before a byte of it is decoded. A segment that fails verification is
+// quarantined to "<seg>.corrupt" and surfaces a DamageError, matching
+// the line-file damage contract.
+
+// segWalksDefault is how many walks a segment holds before sealing.
+const segWalksDefault = 256
+
+// segVersion is bumped when the segment layout changes.
+const segVersion = 1
+
+func segHeader(seed int64) runio.Header {
+	return runio.Header{Format: runio.SegmentFormat, Version: segVersion, Seed: seed}
+}
+
+func segIndexHeader(seed int64) runio.Header {
+	return runio.Header{Format: runio.SegmentIndexFormat, Version: segVersion, Seed: seed}
+}
+
+// segIndexEntry is one sealed segment in segments.idx.
+type segIndexEntry struct {
+	Seg     int   `json:"seg"`
+	Indices []int `json:"indices"`
+}
+
+// segmentStore is the sharded, compressed backend.
+type segmentStore struct {
+	mu       sync.Mutex
+	dir      string
+	manifest Manifest
+	segWalks int
+
+	index *runio.LineFile // segments.idx, nil when opened read-only is impossible (always open)
+
+	// walkSeg maps every known walk index to its segment number.
+	walkSeg map[int]int
+	// sealed maps segment number → its walk indices, in append order.
+	sealed map[int][]int
+
+	// active is the open, unsealed segment (nil until the first append
+	// after open or a seal).
+	active     *runio.LineFile
+	activeSeg  int
+	activeIdx  []int          // indices in append order
+	activeRaw  map[int][]byte // raw payloads of the active segment
+	nextSeg   int
+	finalized bool
+	// cache holds the most recently decoded sealed segments. Two slots:
+	// a parallel crawl interleaves walk indices across at most a
+	// parallelism-sized window, so an index-order scan touches at most
+	// two adjacent segments at a time.
+	cache      map[int]map[int][]byte
+	cacheOrder []int // LRU, most recent last
+}
+
+// segCacheSlots bounds the sealed-segment cache.
+const segCacheSlots = 2
+
+func manifestPath(dir string) string { return filepath.Join(dir, "manifest.json") }
+func indexPath(dir string) string    { return filepath.Join(dir, "segments.idx") }
+func segJSONLPath(dir string, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%06d.jsonl", n))
+}
+func segSealedPath(dir string, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%06d.sgz", n))
+}
+
+func writeManifest(dir string, m Manifest) error {
+	return runio.WriteFileAtomic(manifestPath(dir), func(w io.Writer) error {
+		return runio.WriteDocument(w, m)
+	})
+}
+
+func readManifest(dir string) (Manifest, error) {
+	f, err := os.Open(manifestPath(dir))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("runstore: %s: %w", dir, err)
+	}
+	defer f.Close()
+	var m Manifest
+	want := runio.Header{Format: runio.WalksFormat, Version: lineWalksVersion}
+	if err := runio.ReadDocument(f, want, &m); err != nil {
+		return Manifest{}, fmt.Errorf("runstore: %s: manifest: %w", dir, err)
+	}
+	return m, nil
+}
+
+func createSegment(path string, m Manifest) (Store, error) {
+	if _, err := os.Stat(manifestPath(path)); err == nil {
+		return nil, fmt.Errorf("runstore: %s already holds a run", path)
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("runstore: create %s: %w", path, err)
+	}
+	m.Header = runio.Header{Format: runio.WalksFormat, Version: lineWalksVersion, Seed: m.Seed}
+	if err := writeManifest(path, m); err != nil {
+		return nil, err
+	}
+	idx, entries, err := runio.OpenLineFile(indexPath(path), segIndexHeader(m.Seed))
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) != 0 {
+		idx.Close()
+		return nil, fmt.Errorf("runstore: %s: index already holds segments", path)
+	}
+	return &segmentStore{
+		dir:      path,
+		manifest: m,
+		segWalks: segWalksDefault,
+		index:    idx,
+		walkSeg:  map[int]int{},
+		sealed:   map[int][]int{},
+	}, nil
+}
+
+func openSegment(dir string) (Store, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	idx, entries, err := runio.OpenLineFile(indexPath(dir), segIndexHeader(m.Seed))
+	if err != nil {
+		return nil, err
+	}
+	st := &segmentStore{
+		dir:      dir,
+		manifest: m,
+		segWalks: segWalksDefault,
+		index:    idx,
+		walkSeg:  map[int]int{},
+		sealed:   map[int][]int{},
+	}
+	for _, raw := range entries {
+		var e segIndexEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			idx.Close()
+			return nil, fmt.Errorf("runstore: %s: decode index record: %w", dir, err)
+		}
+		st.sealed[e.Seg] = e.Indices
+		for _, wi := range e.Indices {
+			st.walkSeg[wi] = e.Seg
+		}
+		if e.Seg >= st.nextSeg {
+			st.nextSeg = e.Seg + 1
+		}
+	}
+	// Adopt any unsealed segment a crash left behind: reopen it as the
+	// active line file (torn tails recover like any checkpoint) and put
+	// its walks back on the map.
+	leftover, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err == nil {
+		sort.Strings(leftover)
+		for _, p := range leftover {
+			var n int
+			if _, serr := fmt.Sscanf(filepath.Base(p), "seg-%06d.jsonl", &n); serr != nil {
+				continue
+			}
+			if _, isSealed := st.sealed[n]; isSealed {
+				// Sealed and the jsonl still present: the crash landed
+				// between rename and remove. The sgz is authoritative.
+				os.Remove(p)
+				continue
+			}
+			if err := st.adoptUnsealed(n); err != nil {
+				idx.Close()
+				return nil, err
+			}
+		}
+	}
+	st.finalized = m.Walks > 0 && m.Walks == len(st.walkSeg)
+	return st, nil
+}
+
+// adoptUnsealed reopens an unsealed segment file for continued appends.
+func (st *segmentStore) adoptUnsealed(n int) error {
+	lf, entries, err := runio.OpenLineFile(segJSONLPath(st.dir, n), segHeader(st.manifest.Seed))
+	if err != nil {
+		return err
+	}
+	if st.active != nil {
+		// Two unsealed segments can only mean repeated crashes mid-seal;
+		// keep appending to the newest, seal the older one as-is first.
+		if err := st.sealActiveLocked(); err != nil {
+			lf.Close()
+			return err
+		}
+	}
+	st.active = lf
+	st.activeSeg = n
+	st.activeIdx = nil
+	st.activeRaw = map[int][]byte{}
+	for _, raw := range entries {
+		var rec struct {
+			Index int `json:"index"`
+		}
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			lf.Close()
+			return fmt.Errorf("runstore: %s: decode walk record: %w", st.dir, err)
+		}
+		st.activeIdx = append(st.activeIdx, rec.Index)
+		st.activeRaw[rec.Index] = raw
+		st.walkSeg[rec.Index] = n
+	}
+	if n >= st.nextSeg {
+		st.nextSeg = n + 1
+	}
+	return nil
+}
+
+func (st *segmentStore) Manifest() Manifest {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	m := st.manifest
+	if !st.finalized {
+		m.Walks = len(st.walkSeg)
+	}
+	return m
+}
+
+func (st *segmentStore) Walks() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.walkSeg)
+}
+
+func (st *segmentStore) Append(w *crawler.Walk) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.finalized {
+		return ErrFinalized
+	}
+	if st.active == nil {
+		lf, entries, err := runio.OpenLineFile(segJSONLPath(st.dir, st.nextSeg), segHeader(st.manifest.Seed))
+		if err != nil {
+			return err
+		}
+		if len(entries) != 0 {
+			lf.Close()
+			return fmt.Errorf("runstore: %s: segment %d not empty", st.dir, st.nextSeg)
+		}
+		st.active = lf
+		st.activeSeg = st.nextSeg
+		st.activeIdx = nil
+		st.activeRaw = map[int][]byte{}
+		st.nextSeg++
+	}
+	raw, err := json.Marshal(walkRecord{Index: w.Index, Walk: w})
+	if err != nil {
+		return fmt.Errorf("runstore: encode walk %d: %w", w.Index, err)
+	}
+	if err := st.active.Append(json.RawMessage(raw)); err != nil {
+		return err
+	}
+	st.activeIdx = append(st.activeIdx, w.Index)
+	st.activeRaw[w.Index] = raw
+	st.walkSeg[w.Index] = st.activeSeg
+	if len(st.activeIdx) >= st.segWalks {
+		return st.sealActiveLocked()
+	}
+	return nil
+}
+
+// sealActiveLocked compresses the active segment into its sgz, records
+// it in the index, and removes the jsonl. Callers hold mu.
+func (st *segmentStore) sealActiveLocked() error {
+	if st.active == nil {
+		return nil
+	}
+	jsonl := segJSONLPath(st.dir, st.activeSeg)
+	if err := st.active.Close(); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(jsonl)
+	if err != nil {
+		return fmt.Errorf("runstore: seal segment %d: %w", st.activeSeg, err)
+	}
+	err = runio.WriteFileAtomic(segSealedPath(st.dir, st.activeSeg), func(w io.Writer) error {
+		gz := gzip.NewWriter(w)
+		if _, werr := gz.Write(data); werr != nil {
+			return werr
+		}
+		return gz.Close()
+	})
+	if err != nil {
+		return err
+	}
+	if err := st.index.Append(segIndexEntry{Seg: st.activeSeg, Indices: st.activeIdx}); err != nil {
+		return err
+	}
+	st.sealed[st.activeSeg] = st.activeIdx
+	os.Remove(jsonl)
+	st.active = nil
+	st.activeIdx = nil
+	st.activeRaw = nil
+	return nil
+}
+
+// loadSealedLocked gunzips and verifies one sealed segment, returning
+// its raw payloads by walk index. Damage quarantines the segment file
+// and surfaces a DamageError wrapping ErrCorrupt. Callers hold mu.
+func (st *segmentStore) loadSealedLocked(n int) (map[int][]byte, error) {
+	if walks, ok := st.cache[n]; ok {
+		for i, s := range st.cacheOrder {
+			if s == n {
+				st.cacheOrder = append(append(st.cacheOrder[:i:i], st.cacheOrder[i+1:]...), n)
+				break
+			}
+		}
+		return walks, nil
+	}
+	path := segSealedPath(st.dir, n)
+	corrupt := func(err error) (map[int][]byte, error) {
+		q := path + ".corrupt"
+		if rerr := os.Rename(path, q); rerr != nil { //crumb:allow fsyncpolicy quarantine move of a damaged segment, mirroring runio's own quarantine; not an atomic-replace
+			q = ""
+		}
+		return nil, runio.NewCorruptError(runio.SegmentFormat, path, q)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: segment %d: %w", n, err)
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return corrupt(err)
+	}
+	data, err := io.ReadAll(gz)
+	if err != nil {
+		return corrupt(err)
+	}
+	entries, err := runio.Records(data, segHeader(st.manifest.Seed))
+	if err != nil {
+		// A sealed segment landed via atomic rename, so even a "torn"
+		// classification means the bytes were damaged afterwards.
+		var de *runio.DamageError
+		if errors.As(err, &de) {
+			return corrupt(err)
+		}
+		return nil, err
+	}
+	walks := make(map[int][]byte, len(entries))
+	for _, raw := range entries {
+		var rec struct {
+			Index int `json:"index"`
+		}
+		if uerr := json.Unmarshal(raw, &rec); uerr != nil {
+			return corrupt(uerr)
+		}
+		walks[rec.Index] = raw
+	}
+	if st.cache == nil {
+		st.cache = map[int]map[int][]byte{}
+	}
+	if len(st.cacheOrder) >= segCacheSlots {
+		evict := st.cacheOrder[0]
+		st.cacheOrder = st.cacheOrder[1:]
+		delete(st.cache, evict)
+	}
+	st.cache[n] = walks
+	st.cacheOrder = append(st.cacheOrder, n)
+	return walks, nil
+}
+
+func (st *segmentStore) Get(idx int) (*crawler.Walk, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	seg, ok := st.walkSeg[idx]
+	if !ok {
+		return nil, fmt.Errorf("%w: index %d", ErrNoWalk, idx)
+	}
+	if st.active != nil && seg == st.activeSeg {
+		return decodeWalk(st.activeRaw[idx])
+	}
+	walks, err := st.loadSealedLocked(seg)
+	if err != nil {
+		return nil, err
+	}
+	raw, ok := walks[idx]
+	if !ok {
+		return nil, fmt.Errorf("%w: index %d missing from segment %d", ErrNoWalk, idx, seg)
+	}
+	return decodeWalk(raw)
+}
+
+func (st *segmentStore) sortedIndices() []int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]int, 0, len(st.walkSeg))
+	for i := range st.walkSeg {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (st *segmentStore) Iter() Cursor {
+	return &segmentCursor{st: st, order: st.sortedIndices()}
+}
+
+func (st *segmentStore) Finalize() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.finalized {
+		return nil
+	}
+	if err := st.sealActiveLocked(); err != nil {
+		return err
+	}
+	if err := st.index.Sync(); err != nil {
+		return err
+	}
+	st.manifest.Walks = len(st.walkSeg)
+	if err := writeManifest(st.dir, st.manifest); err != nil {
+		return err
+	}
+	st.finalized = true
+	return nil
+}
+
+func (st *segmentStore) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var err error
+	if st.active != nil {
+		err = st.active.Close()
+		st.active = nil
+	}
+	if cerr := st.index.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// segmentCursor iterates in walk-index order, reusing the store's
+// one-segment cache; consecutive walks usually share a segment, so a
+// full scan gunzips each segment once.
+type segmentCursor struct {
+	st    *segmentStore
+	order []int
+	pos   int
+}
+
+func (c *segmentCursor) Next() (*crawler.Walk, error) {
+	if c.pos >= len(c.order) {
+		return nil, io.EOF
+	}
+	idx := c.order[c.pos]
+	c.pos++
+	return c.st.Get(idx)
+}
+
+func (c *segmentCursor) Close() error { return nil }

@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"os"
 	"runtime/debug"
 	"strconv"
 	"sync"
@@ -314,9 +313,11 @@ func (s *Server) execute(ctx context.Context, j *Job) (*core.Run, error) {
 	return run, err
 }
 
-// reanalyze re-runs the post-crawl pipeline over a stored run's
-// dataset. The world is rebuilt (or fetched) through the same cache the
-// crawl used, keyed by the stored run's own configuration hash.
+// reanalyze re-runs the post-crawl pipeline over a stored run, walk by
+// walk through the store's cursor — the decoded dataset is never
+// resident all at once. The world is rebuilt (or fetched) through the
+// same cache the crawl used, keyed by the stored run's own
+// configuration hash.
 func (s *Server) reanalyze(ctx context.Context, j *Job, jt *telemetry.Telemetry) (*core.Run, error) {
 	if s.store == nil {
 		return nil, errors.New("serve: reanalysis needs a run store (-store)")
@@ -325,17 +326,17 @@ func (s *Server) reanalyze(ctx context.Context, j *Job, jt *telemetry.Telemetry)
 	if !ok {
 		return nil, fmt.Errorf("serve: unknown run %q", j.Spec.RunID)
 	}
-	f, err := os.Open(s.store.RunPath(entry))
+	st, err := crumbcruncher.OpenRunStore(s.store.RunPath(entry))
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	var saved crumbcruncher.SavedRun
-	want := runio.Header{Format: runio.RunFormat, Version: runio.RunVersion}
-	if err := runio.ReadDocument(f, want, &saved); err != nil {
-		return nil, err
+	var cfg core.Config
+	if m := st.Manifest(); len(m.Config) > 0 {
+		if err := json.Unmarshal(m.Config, &cfg); err != nil {
+			st.Close() //nolint:errcheck // job is already failing
+			return nil, fmt.Errorf("serve: stored config: %w", err)
+		}
 	}
-	cfg := saved.Config
 	if j.Spec.Parallelism > 0 {
 		cfg.Parallelism = j.Spec.Parallelism
 	}
@@ -347,12 +348,20 @@ func (s *Server) reanalyze(ctx context.Context, j *Job, jt *telemetry.Telemetry)
 	j.mu.Unlock()
 	world, hit, err := s.cache.Fork(hash, cfg.World)
 	if err != nil {
+		st.Close() //nolint:errcheck // job is already failing
 		return nil, err
 	}
 	j.mu.Lock()
 	j.cacheHit = hit
 	j.mu.Unlock()
-	return core.AnalyzeContext(ctx, cfg, world, saved.Dataset)
+	run, err := core.AnalyzeStore(ctx, cfg, world, st)
+	// Closing releases the store's file handles; the run's lazy walk
+	// replay (figures, referer scans) reads the store's in-memory or
+	// sealed bytes, which outlive the handles.
+	if cerr := st.Close(); cerr != nil && err == nil {
+		return nil, fmt.Errorf("serve: close run store: %w", cerr)
+	}
+	return run, err
 }
 
 // --- HTTP API ---------------------------------------------------------------
@@ -538,20 +547,41 @@ func (s *Server) handleRunFetch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown run")
 		return
 	}
-	data, err := os.ReadFile(s.store.RunPath(entry))
+	// Stored runs live behind the RunStore codec (line, segment or
+	// legacy backend); clients get one checksum-verified JSON document
+	// in the stable single-document shape regardless of the backend.
+	st, err := crumbcruncher.OpenRunStore(s.store.RunPath(entry))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	// Stored runs are framed on disk (format v2); clients get the
-	// checksum-verified JSON payload, not the frame.
-	payload, err := runio.DocumentPayload(data, runio.RunFormat)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
+	defer st.Close() //nolint:errcheck // read-only handle
+	m := st.Manifest()
+	doc := struct {
+		runio.Header
+		Config     json.RawMessage        `json:"config,omitempty"`
+		Provenance json.RawMessage        `json:"provenance,omitempty"`
+		Dataset    *crumbcruncher.Dataset `json:"dataset"`
+	}{
+		Header:     runio.Header{Format: runio.RunFormat, Version: runio.RunVersion, Seed: m.Seed},
+		Config:     m.Config,
+		Provenance: m.Provenance,
+		Dataset:    &crumbcruncher.Dataset{Seed: m.Seed, Crawlers: m.Crawlers},
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(payload) //nolint:errcheck
+	cur := st.Iter()
+	defer cur.Close() //nolint:errcheck // read-only cursor
+	for {
+		walk, err := cur.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		doc.Dataset.Walks = append(doc.Dataset.Walks, walk)
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // debugVars is the GET /debug/vars payload: live queue/worker/job

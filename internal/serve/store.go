@@ -12,6 +12,7 @@ import (
 	"crumbcruncher"
 	"crumbcruncher/internal/core"
 	"crumbcruncher/internal/runio"
+	"crumbcruncher/internal/runstore"
 	"crumbcruncher/internal/telemetry"
 )
 
@@ -115,20 +116,21 @@ func OpenStore(dir string, tel *telemetry.Telemetry) (*Store, error) {
 }
 
 // verifyRun checks that an index entry still points at a readable run
-// document: the file exists and, when framed, its checksum verifies.
+// store: the file opens through the runstore codec, which re-verifies
+// every record's checksum (legacy single-document runs verify their
+// framed checksum the same way).
 func (s *Store) verifyRun(e RunEntry) error {
-	data, err := os.ReadFile(s.RunPath(e))
+	st, err := runstore.Open(s.RunPath(e))
 	if err != nil {
 		return err
 	}
-	_, err = runio.DocumentPayload(data, runio.RunFormat)
-	return err
+	return st.Close()
 }
 
 // Save persists a completed run under id and appends its index entry.
 func (s *Store) Save(id string, run *core.Run, configHash string, uptimeMs int64) (RunEntry, error) {
 	file := "run-" + id + ".json"
-	if err := crumbcruncher.SaveRun(filepath.Join(s.dir, file), run); err != nil {
+	if err := crumbcruncher.SaveRunStore(filepath.Join(s.dir, file), run); err != nil {
 		return RunEntry{}, err
 	}
 	e := RunEntry{

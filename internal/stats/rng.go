@@ -53,6 +53,29 @@ func DeriveSeed(parent int64, label string) int64 {
 	return int64(out)
 }
 
+// DeriveSeedN deterministically mixes a parent seed with an integer
+// label. It is the allocation-free sibling of DeriveSeed for indexed
+// derivations (per-site, per-walk): DeriveSeedN(s, i) is stable across
+// releases and decorrelated from DeriveSeed streams.
+func DeriveSeedN(parent int64, n int) int64 {
+	state := uint64(parent) ^ 0x6a09e667f3bcc908
+	state ^= uint64(n) * 0xbf58476d1ce4e5b9
+	var out uint64
+	state, out = splitmix64(state)
+	state, out = splitmix64(state)
+	_ = state
+	return int64(out)
+}
+
+// UnitAt returns a deterministic uniform float64 in [0, 1) for the pair
+// (seed, i) without constructing an RNG. It is used for cheap per-index
+// classification decisions (e.g. a lazy world's site kinds) where paying
+// for a full random stream per index would dominate generation.
+func UnitAt(seed int64, i int) float64 {
+	_, out := splitmix64(uint64(DeriveSeedN(seed, i)))
+	return float64(out>>11) / (1 << 53)
+}
+
 // RNG is a deterministic random source. It wraps math/rand with a
 // convenience layer (splitting, weighted choice) and is NOT safe for
 // concurrent use; split one child per goroutine instead.

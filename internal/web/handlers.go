@@ -12,27 +12,35 @@ import (
 	"crumbcruncher/internal/ident"
 )
 
-// registerHandlers wires every host in the world onto the network.
-func (w *World) registerHandlers() {
-	for _, s := range w.sites {
-		site := s
-		w.net.HandleFunc(site.Domain, func(rw http.ResponseWriter, r *http.Request) {
-			w.serveSite(site, rw, r)
+// registerSiteHandlers wires one site's hosts onto the network: the
+// content domain, its shortener and its org's SSO host. Eager worlds
+// call it for every site at build time; lazy worlds call it from the
+// network resolver on a site's first visit. Registering the same host
+// twice (SSO hosts shared by sync-org members, resolver races) is
+// harmless — the handlers behave identically.
+func (w *World) registerSiteHandlers(s *Site) {
+	site := s
+	w.net.HandleFunc(site.Domain, func(rw http.ResponseWriter, r *http.Request) {
+		w.serveSite(site, rw, r)
+	})
+	if site.ShortenerHost != "" {
+		w.net.HandleFunc(site.ShortenerHost, func(rw http.ResponseWriter, r *http.Request) {
+			w.serveShortener(site, rw, r)
 		})
-		if site.ShortenerHost != "" {
-			w.net.HandleFunc(site.ShortenerHost, func(rw http.ResponseWriter, r *http.Request) {
-				w.serveShortener(site, rw, r)
-			})
-		}
-		if site.SSOHost != "" {
-			// Several member sites share the org's SSO host; registering
-			// it repeatedly is harmless (same behaviour).
-			sso := site.SSOHost
-			w.net.HandleFunc(sso, func(rw http.ResponseWriter, r *http.Request) {
-				w.serveSSO(sso, rw, r)
-			})
-		}
 	}
+	if site.SSOHost != "" {
+		sso := site.SSOHost
+		w.net.HandleFunc(sso, func(rw http.ResponseWriter, r *http.Request) {
+			w.serveSSO(sso, rw, r)
+		})
+	}
+}
+
+// registerTrackerHandlers wires every tracker host onto the network.
+// Tracker infrastructure is always registered eagerly: it is plan-sized
+// (a few hundred hosts), and redirect chains must resolve even when the
+// chain's hosts were never visited as sites.
+func (w *World) registerTrackerHandlers() {
 	for _, t := range w.trackers {
 		tracker := t
 		if tracker.ScriptHost != "" {

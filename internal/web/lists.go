@@ -15,14 +15,22 @@ import (
 // from the world seed.
 
 // EntityListDomains returns the partial domain → organisation map
-// standing in for the Disconnect entity list.
+// standing in for the Disconnect entity list. Membership derives per
+// domain, so the returned map is coverage-sized even for a lazy
+// million-site world.
 func (w *World) EntityListDomains() map[string]string {
 	out := map[string]string{}
 	cut := int(w.cfg.EntityListCoverage * 1000)
-	for d, org := range w.orgOf {
+	add := func(d, org string) {
 		if ident.ShortHash(w.cfg.Seed, 1000, "entitylist", d) < cut {
 			out[d] = org
 		}
+	}
+	for d, org := range w.gen.trackerOrgOf {
+		add(d, org)
+	}
+	for i := 0; i < w.cfg.NumSites; i++ {
+		add(w.gen.domainAt(i), w.gen.orgAt(i))
 	}
 	return out
 }

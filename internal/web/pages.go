@@ -111,10 +111,10 @@ func (w *World) buildPage(s *Site, path string, v visitor) *dom.Node {
 	// SSO login link to a partner with an account page. Some links omit
 	// the return URL: the sign-in host is then visited as a destination,
 	// which is what keeps it out of the dedicated-smuggler class.
-	if p := w.ssoPartner(s, srng); p != nil {
-		href := "http://" + p.SSOHost + "/login"
+	if p, ok := w.ssoPartner(s, srng); ok {
+		href := "http://" + p.ssoHost + "/login"
 		if !srng.Bool(w.cfg.PSSOBareLogin) {
-			href += "?return=" + url.QueryEscape("http://"+p.Domain+"/account")
+			href += "?return=" + url.QueryEscape("http://"+p.domain+"/account")
 		}
 		a := dom.NewElement("a", "href", href, "class", "login")
 		a.AppendChild(dom.NewText("sign in"))
@@ -123,9 +123,9 @@ func (w *World) buildPage(s *Site, path string, v visitor) *dom.Node {
 	// One dynamic "recommended" link: present on every load but pointing
 	// somewhere different per client, with a varying attribute set so the
 	// matching heuristics correctly reject it.
-	rec := w.sites[drng.Intn(len(w.sites))]
+	rec := w.gen.domainAt(drng.Intn(w.cfg.NumSites))
 	recA := dom.NewElement("a",
-		"href", "http://"+rec.Domain+"/?ref="+slugFrom(drng, 2),
+		"href", "http://"+rec+"/?ref="+slugFrom(drng, 2),
 		"class", "recommended",
 		"data-v"+strconv.Itoa(drng.Intn(50)), "1",
 	)
@@ -298,9 +298,9 @@ func (w *World) addExternalLink(s *Site, content *dom.Node, srng *stats.RNG, v v
 func (w *World) addVolatileContent(s *Site, content *dom.Node, drng *stats.RNG) {
 	nLinks := 2 + drng.Intn(3)
 	for i := 0; i < nLinks; i++ {
-		dest := w.sites[drng.Intn(len(w.sites))]
+		dest := w.gen.domainAt(drng.Intn(w.cfg.NumSites))
 		a := dom.NewElement("a",
-			"href", fmt.Sprintf("http://%s/p/%d?ref=%s", dest.Domain, drng.Intn(10), slugFrom(drng, 2)),
+			"href", fmt.Sprintf("http://%s/p/%d?ref=%s", dest, drng.Intn(10), slugFrom(drng, 2)),
 			"data-v"+strconv.Itoa(drng.Intn(50)), "1",
 		)
 		a.AppendChild(dom.NewText(slugFrom(drng, 1)))
@@ -317,18 +317,20 @@ func (w *World) addVolatileContent(s *Site, content *dom.Node, drng *stats.RNG) 
 	}
 }
 
-// ssoPartner picks a partner site with an SSO host, if any.
-func (w *World) ssoPartner(s *Site, rng *stats.RNG) *Site {
-	var candidates []*Site
+// ssoPartner picks a partner site with an SSO host, if any. Candidates
+// resolve from the generation plan alone, so a lazy world never
+// materialises a partner just to learn it has no sign-in host.
+func (w *World) ssoPartner(s *Site, rng *stats.RNG) (ssoRef, bool) {
+	var candidates []ssoRef
 	for _, d := range s.Partners {
-		if p := w.siteByDomain[d]; p != nil && p.SSOHost != "" && p.HasAccount {
-			candidates = append(candidates, p)
+		if info, ok := w.gen.ssoInfo(d); ok {
+			candidates = append(candidates, info)
 		}
 	}
 	if len(candidates) == 0 || !rng.Bool(0.12) {
-		return nil
+		return ssoRef{}, false
 	}
-	return candidates[rng.Intn(len(candidates))]
+	return candidates[rng.Intn(len(candidates))], true
 }
 
 // linkID derives the stable affiliate link identifier used for

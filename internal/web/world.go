@@ -163,24 +163,25 @@ type Site struct {
 	Collectors []*Tracker
 }
 
-// World is a built synthetic web.
+// World is a built synthetic web: an immutable generation plan plus the
+// per-run mutable substrate (network, visit counters). In eager mode
+// (the default) every site is materialised and registered up front; with
+// Config.Lazy sites derive and register on first visit through the
+// network's resolver, so an unvisited world holds only its plan.
 type World struct {
 	cfg   Config
 	net   *netsim.Network
 	truth *Truth
 	psl   *publicsuffix.List
 	split *stats.Splitter
+	gen   *worldGen
+	cache *siteCache
 
-	sites        []*Site
-	siteByDomain map[string]*Site
-	trackers     []*Tracker
-	adNetworks   []*Tracker
-	affiliates   []*Tracker
-	bounces      []*Tracker
-	analytics    []*Tracker
-
-	orgOf      map[string]string // registered domain → organisation (full truth)
-	categories map[string]string // registered domain → category
+	trackers   []*Tracker
+	adNetworks []*Tracker
+	affiliates []*Tracker
+	bounces    []*Tracker
+	analytics  []*Tracker
 
 	// allCampaigns is the cross-network syndication pool rotated ads are
 	// drawn from; campaignsByDest indexes it by destination for
@@ -201,54 +202,83 @@ func (w *World) Network() *netsim.Network { return w.net }
 // Truth returns the ground-truth registry.
 func (w *World) Truth() *Truth { return w.truth }
 
-// Sites returns all content sites.
-func (w *World) Sites() []*Site { return w.sites }
+// Sites returns all content sites in rank order. In lazy mode this
+// materialises the whole world — evaluation-only; the crawl path never
+// calls it.
+func (w *World) Sites() []*Site {
+	out := make([]*Site, w.cfg.NumSites)
+	for i := range out {
+		out[i] = w.cache.site(w.gen, i)
+	}
+	return out
+}
 
 // Trackers returns all tracker organisations.
 func (w *World) Trackers() []*Tracker { return w.trackers }
 
 // Site returns the site owning the registered domain of host, or nil.
+// Site domains carry their index, so resolution decodes and validates
+// instead of consulting a world-sized map.
 func (w *World) Site(host string) *Site {
-	return w.siteByDomain[w.regDomain(host)]
+	i, ok := w.gen.siteIndexOf(w.regDomain(host))
+	if !ok {
+		return nil
+	}
+	return w.cache.site(w.gen, i)
 }
 
 // Seeders returns the seeder domain list (most popular first) — the
-// world's Tranco equivalent.
-func (w *World) Seeders() []string {
-	out := make([]string, len(w.sites))
-	for i, s := range w.sites {
-		out[i] = s.Domain
+// world's Tranco equivalent. Site index order IS rank order.
+func (w *World) Seeders() []string { return w.SeedersN(w.cfg.NumSites) }
+
+// SeedersN returns the n most popular seeder domains. A crawl of k walks
+// only ever consults the first min(k, NumSites) seeders, so callers at
+// scale avoid materialising a million-entry list.
+func (w *World) SeedersN(n int) []string {
+	if n > w.cfg.NumSites {
+		n = w.cfg.NumSites
 	}
-	sort.Slice(out, func(i, j int) bool {
-		return w.siteByDomain[out[i]].Rank < w.siteByDomain[out[j]].Rank
-	})
+	if n < 0 {
+		n = 0
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = w.gen.domainAt(i)
+	}
 	return out
 }
 
+// NumSeeders returns the size of the full seeder list.
+func (w *World) NumSeeders() int { return w.cfg.NumSites }
+
 // Organizations returns the complete domain → organisation map.
 func (w *World) Organizations() map[string]string {
-	out := make(map[string]string, len(w.orgOf))
-	for d, o := range w.orgOf {
+	out := make(map[string]string, w.cfg.NumSites+len(w.gen.trackerOrgOf))
+	for d, o := range w.gen.trackerOrgOf {
 		out[d] = o
+	}
+	for i := 0; i < w.cfg.NumSites; i++ {
+		out[w.gen.domainAt(i)] = w.gen.orgAt(i)
 	}
 	return out
 }
 
 // Categories returns the complete domain → category map.
 func (w *World) Categories() map[string]string {
-	out := make(map[string]string, len(w.categories))
-	for d, c := range w.categories {
-		out[d] = c
+	out := make(map[string]string, w.cfg.NumSites)
+	for i := 0; i < w.cfg.NumSites; i++ {
+		out[w.gen.domainAt(i)] = w.gen.categoryAt(i)
 	}
 	return out
 }
 
-// Fingerprinters returns the domains of sites hosting fingerprinting code.
+// Fingerprinters returns the domains of sites hosting fingerprinting
+// code, in domain order.
 func (w *World) Fingerprinters() []string {
 	var out []string
-	for _, s := range w.sites {
-		if s.Fingerprinting {
-			out = append(out, s.Domain)
+	for i := 0; i < w.cfg.NumSites; i++ {
+		if w.gen.fingerprintingAt(i) {
+			out = append(out, w.gen.domainAt(i))
 		}
 	}
 	sort.Strings(out)
@@ -272,158 +302,75 @@ func (w *World) visit(key string) int {
 	return w.visits[key]
 }
 
-// BuildWorld constructs the synthetic web and registers every handler on a
-// fresh network.
+// BuildWorld constructs the synthetic web on a fresh network. It is now a
+// thin wrapper over the demand-driven plan: eager mode materialises and
+// registers every site immediately, lazy mode (Config.Lazy) installs a
+// resolver and leaves sites to derive on first visit.
 func BuildWorld(cfg Config) *World {
 	if cfg.NumSites <= 0 {
 		cfg = DefaultConfig()
 	}
-	w := &World{
-		cfg:          cfg,
-		net:          netsim.New(),
-		truth:        newTruth(),
-		psl:          publicsuffix.Default(),
-		split:        stats.NewSplitter(cfg.Seed),
-		siteByDomain: make(map[string]*Site),
-		orgOf:        make(map[string]string),
-		categories:   make(map[string]string),
-		visits:       make(map[string]int),
-	}
-	rng := w.split.RNG("world/build")
-	forge := newNameForge(w.split.RNG("world/names"))
+	gen := newWorldGen(cfg)
+	return newWorldFrom(cfg, gen, newSiteCache())
+}
 
-	w.buildTrackers(rng, forge)
-	w.buildSites(rng, forge)
-	w.buildCampaigns(rng)
-	w.assignTrackersToSites(rng)
-	w.registerParams()
-	w.registerHandlers()
+// newWorldFrom assembles a world (or fork) around a shared plan and site
+// cache, wiring the per-run substrate: network, handlers, faults,
+// visit counters.
+func newWorldFrom(cfg Config, gen *worldGen, cache *siteCache) *World {
+	w := &World{
+		cfg:             cfg,
+		net:             netsim.New(),
+		truth:           gen.truth,
+		psl:             publicsuffix.Default(),
+		split:           stats.NewSplitter(cfg.Seed),
+		gen:             gen,
+		cache:           cache,
+		trackers:        gen.trackers,
+		adNetworks:      gen.adNetworks,
+		affiliates:      gen.affiliates,
+		bounces:         gen.bounces,
+		analytics:       gen.analytics,
+		allCampaigns:    gen.allCampaigns,
+		campaignsByDest: gen.campaignsByDest,
+		visits:          make(map[string]int),
+	}
+	w.registerTrackerHandlers()
+	if cfg.Lazy {
+		w.net.SetResolver(w.resolveHost)
+	} else {
+		for i := 0; i < cfg.NumSites; i++ {
+			w.registerSiteHandlers(cache.site(gen, i))
+		}
+	}
 	w.installFaults()
 	return w
 }
 
 // Fork returns a run-private view of the world. The expensive seeded
-// generation — sites, trackers, campaigns, the ground-truth registry,
-// organisation and category maps — is shared with the receiver, all of
-// it immutable (or internally locked) after BuildWorld returns. The
-// per-run mutable substrate is rebuilt fresh: a new virtual network
-// with its own clock and fault injector, and zeroed visit counters.
+// generation — the plan, materialised sites, the ground-truth registry —
+// is shared with the receiver, all of it immutable (or internally
+// locked). The per-run mutable substrate is rebuilt fresh: a new virtual
+// network with its own clock and fault injector, and zeroed visit
+// counters. Lazily materialised sites accumulate in the shared cache, so
+// concurrent forks of a lazy world pay each site's derivation once.
 //
 // A template world that is never crawled directly can therefore serve
 // any number of concurrent runs, each fork producing results
 // byte-identical to a world built from scratch with the same Config
-// (the serve layer's world cache relies on exactly this). Forking pays
-// only handler registration and fault installation, not generation.
-// Fork is safe to call concurrently on the same receiver.
+// (the serve layer's world cache relies on exactly this). Fork is safe
+// to call concurrently on the same receiver.
 func (w *World) Fork() *World {
-	nw := &World{
-		cfg:             w.cfg,
-		net:             netsim.New(),
-		truth:           w.truth,
-		psl:             w.psl,
-		split:           w.split,
-		sites:           w.sites,
-		siteByDomain:    w.siteByDomain,
-		trackers:        w.trackers,
-		adNetworks:      w.adNetworks,
-		affiliates:      w.affiliates,
-		bounces:         w.bounces,
-		analytics:       w.analytics,
-		orgOf:           w.orgOf,
-		categories:      w.categories,
-		allCampaigns:    w.allCampaigns,
-		campaignsByDest: w.campaignsByDest,
-		visits:          make(map[string]int),
-	}
-	nw.registerHandlers()
-	nw.installFaults()
-	return nw
+	return newWorldFrom(w.cfg, w.gen, w.cache)
 }
 
-// buildTrackers creates the tracker organisations (sites come later, so
-// campaign destinations and retailer partnerships are wired in
-// buildCampaigns).
-func (w *World) buildTrackers(rng *stats.RNG, forge *nameForge) {
-	newTracker := func(kind TrackerKind, weight float64) *Tracker {
-		domain := forge.trackerDomain()
-		t := &Tracker{
-			Name:         domain[:len(domain)-len(tldOf(domain))],
-			Org:          forge.orgName(),
-			Kind:         kind,
-			Domain:       domain,
-			OwnedDomains: []string{domain},
-			ScriptHost:   "cdn." + domain,
-			Weight:       weight,
-		}
-		w.orgOf[domain] = t.Org
-		return t
-	}
-
-	smuggling := int(w.cfg.AdSmugglesFraction*float64(w.cfg.NumAdNetworks) + 0.5)
-	for i := 0; i < w.cfg.NumAdNetworks; i++ {
-		t := newTracker(AdNetwork, 1/float64(i+1))
-		t.ServeHost = "serve." + t.Domain
-		t.ClickHosts = []string{"adclick.g." + t.Domain}
-		// The biggest networks smuggle (the DoubleClick-alikes dominate
-		// Table 3); the tail serves untracked ads. A couple of
-		// mid-market smuggling networks only do so on Safari, where
-		// partitioned storage makes smuggling worthwhile (§3.4).
-		t.Smuggles = i < smuggling
-		t.SafariOnly = t.Smuggles && i >= 2 && i < 2+w.cfg.SafariOnlyAdNetworks
-		// The two biggest networks own a second domain whose redirector
-		// always follows the first (the awin1.com → zenaps.com pattern).
-		if i < 2 {
-			d2 := forge.trackerDomain()
-			t.OwnedDomains = append(t.OwnedDomains, d2)
-			t.ClickHosts = append(t.ClickHosts, "r."+d2)
-			w.orgOf[d2] = t.Org
-		}
-		t.Param = forge.paramName()
-		t.MidParam = forge.paramName()
-		t.CookieName = "_" + t.Name + "_id"
-		t.TTLDays = shortTTLFor(i, w.cfg.NumAdNetworks, w.cfg.ShortUIDTTLFraction)
-		w.adNetworks = append(w.adNetworks, t)
-		w.trackers = append(w.trackers, t)
-	}
-
-	for i := 0; i < w.cfg.NumDecorators; i++ {
-		t := newTracker(AffiliateNetwork, 1/float64(i+1))
-		t.Smuggles = true
-		t.ClickHosts = []string{"track." + t.Domain}
-		if rng.Bool(0.3) {
-			t.ClickHosts = append(t.ClickHosts, "go."+t.Domain)
-		}
-		t.Param = forge.paramName()
-		t.MidParam = forge.paramName()
-		t.CookieName = "_" + t.Name
-		t.TTLDays = shortTTLFor(i, w.cfg.NumDecorators, w.cfg.ShortUIDTTLFraction)
-		if i%3 == 1 {
-			t.UIDFormat = "ga"
-		}
-		// A few trackers smuggle via the Referer header (§6 limitation);
-		// keep them off the biggest networks so the main results aren't
-		// dominated by invisible transfers.
-		if mid := w.cfg.NumDecorators / 2; i >= mid && i < mid+w.cfg.RefererDecorators {
-			t.RefererSmuggler = true
-		}
-		w.affiliates = append(w.affiliates, t)
-		w.trackers = append(w.trackers, t)
-	}
-
-	for i := 0; i < w.cfg.NumBounceTrackers; i++ {
-		t := newTracker(BounceTracker, 1/float64(i+1))
-		t.ClickHosts = []string{"b." + t.Domain}
-		t.CookieName = "_" + t.Name + "_b"
-		w.bounces = append(w.bounces, t)
-		w.trackers = append(w.trackers, t)
-	}
-
-	for i := 0; i < w.cfg.NumAnalytics; i++ {
-		t := newTracker(Analytics, 1/float64(i+1))
-		t.ScriptHost = "g." + t.Domain
-		t.CookieName = "_" + t.Name + "_a"
-		w.analytics = append(w.analytics, t)
-		w.trackers = append(w.trackers, t)
+// resolveHost is the lazy network resolver: on the first request to an
+// unknown host, materialise the owning site and register its handlers.
+// Only real site domains decode, so garbage hosts still fail with
+// ErrUnknownHost exactly as in eager mode.
+func (w *World) resolveHost(host string) {
+	if s := w.Site(host); s != nil {
+		w.registerSiteHandlers(s)
 	}
 }
 
@@ -509,131 +456,6 @@ func pickCategory(rng *stats.RNG, kind SiteKind) string {
 	return entries[rng.WeightedIndex(weights)].Key
 }
 
-// buildSites creates content sites, multi-site organisations and the
-// partner link graph.
-func (w *World) buildSites(rng *stats.RNG, forge *nameForge) {
-	n := w.cfg.NumSites
-	kinds := make([]SiteKind, n)
-	for i := range kinds {
-		r := rng.Float64()
-		switch {
-		case r < w.cfg.PublisherFraction:
-			kinds[i] = Publisher
-		case r < w.cfg.PublisherFraction+w.cfg.RetailerFraction:
-			kinds[i] = Retailer
-		default:
-			kinds[i] = Portal
-		}
-	}
-
-	for i := 0; i < n; i++ {
-		s := &Site{
-			Domain:   forge.siteDomain(""),
-			Rank:     i + 1,
-			Kind:     kinds[i],
-			Category: pickCategory(rng, kinds[i]),
-		}
-		s.Org = orgFromDomain(s.Domain)
-		w.addSite(s)
-	}
-
-	// Multi-site sync organisations: mid-popularity publishers owning
-	// several heavily interlinked domains (Sports Reference pattern).
-	// They start below the very top of the ranking — reference networks
-	// are popular but not Facebook-popular.
-	idx := 25
-	if idx >= len(w.sites) {
-		idx = 0
-	}
-	for o := 0; o < w.cfg.NumSyncOrgs && idx < len(w.sites); o++ {
-		size := 3 + rng.Intn(3)
-		org := forge.orgName()
-		syncParam := forge.paramName()
-		var members []*Site
-		for k := 0; k < size && idx < len(w.sites); k++ {
-			s := w.sites[idx]
-			idx++
-			s.Org = org
-			w.orgOf[s.Domain] = org
-			members = append(members, s)
-		}
-		if len(members) < 2 {
-			continue
-		}
-		primary := members[0]
-		sync := &Tracker{
-			Name:         "sync-" + primary.Domain,
-			Org:          org,
-			Kind:         OrgSync,
-			Domain:       primary.Domain,
-			OwnedDomains: []string{primary.Domain},
-			Param:        syncParam,
-			CookieName:   "_org_uid",
-			TTLDays:      720,
-		}
-		w.trackers = append(w.trackers, sync)
-		for _, s := range members {
-			s.SyncTracker = sync
-			for _, m := range members {
-				if m != s {
-					s.Siblings = append(s.Siblings, m.Domain)
-				}
-			}
-		}
-		// Sync orgs with an SSO host: the multi-purpose login
-		// redirector.
-		if o%2 == 0 {
-			sso := "signin." + primary.Domain
-			for _, s := range members {
-				s.SSOHost = sso
-				s.HasAccount = true
-				s.BreakageClass = breakageClassFor(rng)
-			}
-		}
-	}
-
-	// A couple of popular publishers run their own outbound shortener
-	// (the t.co / l.facebook.com pattern).
-	shorteners := 0
-	for _, s := range w.sites {
-		if s.Kind == Publisher && s.Rank <= 20 && rng.Bool(0.35) {
-			s.ShortenerHost = "l." + s.Domain
-			shorteners++
-			if shorteners >= 4 {
-				break
-			}
-		}
-	}
-
-	// Fingerprinting sites.
-	for _, s := range w.sites {
-		if rng.Bool(w.cfg.FingerprinterSiteFraction) {
-			s.Fingerprinting = true
-		}
-	}
-
-	// Partner graph: sample partners with popularity bias.
-	zipf := stats.NewZipf(len(w.sites), 0.35)
-	for _, s := range w.sites {
-		want := 4 + rng.Intn(5)
-		seen := map[string]bool{s.Domain: true}
-		for _, sib := range s.Siblings {
-			if !seen[sib] {
-				s.Partners = append(s.Partners, sib)
-				seen[sib] = true
-			}
-		}
-		for tries := 0; len(s.Partners) < want && tries < 50; tries++ {
-			p := w.sites[zipf.Rank(rng)-1]
-			if seen[p.Domain] {
-				continue
-			}
-			seen[p.Domain] = true
-			s.Partners = append(s.Partners, p.Domain)
-		}
-	}
-}
-
 // breakageClassFor draws the /account degradation class with the 7/1/1/1
 // weighting that reproduces the paper's 10-page experiment.
 func breakageClassFor(rng *stats.RNG) int {
@@ -666,13 +488,6 @@ func campaignExtras(rng *stats.RNG, truth *Truth) map[string]string {
 	return out
 }
 
-func (w *World) addSite(s *Site) {
-	w.sites = append(w.sites, s)
-	w.siteByDomain[s.Domain] = s
-	w.orgOf[s.Domain] = s.Org
-	w.categories[s.Domain] = s.Category
-}
-
 // orgFromDomain derives a single-site organisation name from its domain.
 func orgFromDomain(domain string) string {
 	name := domain
@@ -680,216 +495,6 @@ func orgFromDomain(domain string) string {
 		name = domain[:len(domain)-len(t)]
 	}
 	return titleCase(name)
-}
-
-// buildCampaigns wires ad networks and affiliates to retailer
-// destinations and builds redirect chains.
-func (w *World) buildCampaigns(rng *stats.RNG) {
-	w.campaignsByDest = map[string][]*Campaign{}
-	var retailers []*Site
-	for _, s := range w.sites {
-		if s.Kind == Retailer {
-			retailers = append(retailers, s)
-		}
-	}
-	if len(retailers) == 0 {
-		return
-	}
-	// Display campaigns concentrate on the bigger advertisers, so several
-	// campaigns share each destination and same-destination rotation has
-	// a pool to draw from.
-	adRetailers := retailers
-	if len(adRetailers) > 40 {
-		adRetailers = adRetailers[:40]
-	}
-
-	// Chain hosts available for multi-tracker chains.
-	var allClickHosts []string
-	for _, t := range w.adNetworks {
-		allClickHosts = append(allClickHosts, t.ClickHosts...)
-	}
-	for _, t := range w.affiliates {
-		allClickHosts = append(allClickHosts, t.ClickHosts...)
-	}
-
-	for _, t := range w.adNetworks {
-		n := 4 + rng.Intn(8)
-		for c := 0; c < n; c++ {
-			camp := &Campaign{
-				ID:    fmt.Sprintf("%s-c%d", t.Name, c),
-				Owner: t,
-				Dest:  stats.Pick(rng, adRetailers).Domain,
-				Ads:   2 + rng.Intn(4),
-				Extra: campaignExtras(rng, w.truth),
-			}
-			// Chain: usually the network's own click host(s), sometimes
-			// extended through partners, occasionally empty (direct ad
-			// click → retailer).
-			if !rng.Bool(0.15) {
-				camp.Chain = append(camp.Chain, t.ClickHosts...)
-				extra := rng.Geometric(1-w.cfg.ChainExtraP, w.cfg.MaxChain-len(camp.Chain))
-				for e := 0; e < extra; e++ {
-					camp.Chain = append(camp.Chain, stats.Pick(rng, allClickHosts))
-				}
-			}
-			t.Campaigns = append(t.Campaigns, camp)
-			w.allCampaigns = append(w.allCampaigns, camp)
-			w.campaignsByDest[camp.Dest] = append(w.campaignsByDest[camp.Dest], camp)
-		}
-	}
-
-	for _, t := range w.affiliates {
-		n := 3 + rng.Intn(6)
-		seen := map[string]bool{}
-		for c := 0; c < n; c++ {
-			d := stats.Pick(rng, retailers).Domain
-			if !seen[d] {
-				seen[d] = true
-				t.DestRetailers = append(t.DestRetailers, d)
-			}
-		}
-	}
-
-	// Destination-side collectors: every tracker that targets a retailer
-	// puts its own collector script there, storing its smuggled
-	// parameters with its own cookie lifetime.
-	collect := map[string]map[string]*Tracker{}
-	addCollector := func(dest string, t *Tracker) {
-		if collect[dest] == nil {
-			collect[dest] = map[string]*Tracker{}
-		}
-		collect[dest][t.Domain] = t
-	}
-	for _, t := range w.adNetworks {
-		for _, c := range t.Campaigns {
-			addCollector(c.Dest, t)
-		}
-	}
-	for _, t := range w.affiliates {
-		for _, d := range t.DestRetailers {
-			addCollector(d, t)
-		}
-	}
-	for dest, ts := range collect {
-		s := w.siteByDomain[dest]
-		var domains []string
-		for d := range ts {
-			domains = append(domains, d)
-		}
-		sort.Strings(domains)
-		for _, d := range domains {
-			s.Collectors = append(s.Collectors, ts[d])
-		}
-	}
-}
-
-// assignTrackersToSites places decorator scripts, analytics beacons and ad
-// slots on sites.
-func (w *World) assignTrackersToSites(rng *stats.RNG) {
-	pickWeighted := func(ts []*Tracker) *Tracker {
-		weights := make([]float64, len(ts))
-		for i, t := range ts {
-			weights[i] = t.Weight
-		}
-		return ts[rng.WeightedIndex(weights)]
-	}
-	for _, s := range w.sites {
-		s.fpDecorator = map[string]bool{}
-		// Analytics on almost everything.
-		na := 1 + rng.Intn(2)
-		seen := map[string]bool{}
-		for i := 0; i < na && len(w.analytics) > 0; i++ {
-			t := pickWeighted(w.analytics)
-			if !seen[t.Domain] {
-				seen[t.Domain] = true
-				s.Analytics = append(s.Analytics, t)
-			}
-		}
-		if s.Kind != Publisher {
-			continue
-		}
-		// Publishers: decorators and ad slots.
-		nd := 1 + rng.Intn(2)
-		seen = map[string]bool{}
-		for i := 0; i < nd && len(w.affiliates) > 0; i++ {
-			t := pickWeighted(w.affiliates)
-			if seen[t.Domain] {
-				continue
-			}
-			seen[t.Domain] = true
-			s.Decorators = append(s.Decorators, t)
-			if s.Fingerprinting && rng.Bool(0.8) {
-				s.fpDecorator[t.Domain] = true
-			}
-		}
-		nn := 1 + rng.Intn(2)
-		seen = map[string]bool{}
-		for i := 0; i < nn && len(w.adNetworks) > 0; i++ {
-			t := pickWeighted(w.adNetworks)
-			if !seen[t.Domain] {
-				seen[t.Domain] = true
-				s.AdNetworks = append(s.AdNetworks, t)
-			}
-		}
-		s.AdSlots = rng.Geometric(1/(1+w.cfg.AdSlotMean), 3)
-		s.ExtLinks = rng.Geometric(1/(1+w.cfg.ExternalLinkMean), 6)
-	}
-	// Retailers and portals still carry a couple of external links so
-	// walks continue from them.
-	for _, s := range w.sites {
-		if s.Kind != Publisher {
-			s.ExtLinks = rng.Intn(3)
-		}
-	}
-}
-
-// registerParams records every parameter name's ground truth.
-func (w *World) registerParams() {
-	for _, t := range w.trackers {
-		if t.Param != "" {
-			w.truth.registerParam(t.Param, ParamUID)
-		}
-		if t.MidParam != "" {
-			w.truth.registerParam(t.MidParam, ParamUID)
-		}
-	}
-	w.truth.registerParam("atok", ParamUID) // SSO auth token: a true UID
-	w.truth.registerParam("sid", ParamSession)
-	w.truth.registerParam("ts", ParamTimestamp)
-	w.truth.registerParam("d", ParamDest)
-	w.truth.registerParam("return", ParamDest)
-	w.truth.registerParam("url", ParamDest)
-	for _, p := range []string{"ref", "utm_campaign", "topic", "lang", "geo", "share", "cat", "camp", "cr"} {
-		w.truth.registerParam(p, ParamBenign)
-	}
-	for _, p := range []string{"aid", "sl", "pub", "via", "ad", "cb", "p"} {
-		w.truth.registerParam(p, ParamRouting)
-	}
-	// Dedicated-smuggler ground truth: ad and affiliate click hosts are
-	// pure redirector infrastructure — they have no purpose in a
-	// navigation path besides redirecting and carrying whatever UID
-	// parameters arrive. Even a non-smuggling network's click host can
-	// appear inside another network's smuggling chain and forward its
-	// UIDs, which is exactly the behaviour the paper's "dedicated
-	// smuggler" label describes.
-	for _, t := range w.adNetworks {
-		for _, h := range t.ClickHosts {
-			w.truth.markDedicated(h)
-		}
-	}
-	for _, t := range w.affiliates {
-		for _, h := range t.ClickHosts {
-			w.truth.markDedicated(h)
-		}
-	}
-	for _, s := range w.sites {
-		if s.SSOHost != "" {
-			w.truth.markSmuggler(s.SSOHost)
-		}
-		if s.ShortenerHost != "" && s.SyncTracker != nil {
-			w.truth.markSmuggler(s.ShortenerHost)
-		}
-	}
 }
 
 // installFaults configures connection failures for content sites,
@@ -910,10 +515,12 @@ func (w *World) installFaults() {
 	for _, t := range w.trackers {
 		f.Exempt(t.OwnedDomains...)
 	}
-	for _, s := range w.sites {
-		if s.Rank <= 15 {
-			f.Exempt(s.Domain)
-		}
+	top := 15
+	if top > w.cfg.NumSites {
+		top = w.cfg.NumSites
+	}
+	for i := 0; i < top; i++ {
+		f.Exempt(w.gen.domainAt(i))
 	}
 	// SSO and shortener hosts share the registered domain of their site,
 	// so they fail with it — acceptable: they ARE the site.

@@ -1,0 +1,47 @@
+package crumbcruncher_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"crumbcruncher"
+)
+
+// TestLazyWorldMetricsIdentical pins the lazy-world acceptance bar: a
+// crawl of a lazily materialised world must produce byte-identical
+// metrics to the eager world, at every parallelism level.
+func TestLazyWorldMetricsIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := crumbcruncher.SmallConfig()
+		cfg.World.Seed = seed
+		cfg.Walks = 40
+		cfg.Parallelism = 1
+
+		run, err := crumbcruncher.NewRunner(cfg).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eager strings.Builder
+		if err := crumbcruncher.WriteMetricsJSON(&eager, run); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, par := range []int{1, 4, 16} {
+			lcfg := cfg
+			lcfg.World.Lazy = true
+			lcfg.Parallelism = par
+			lrun, err := crumbcruncher.NewRunner(lcfg).Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var lazy strings.Builder
+			if err := crumbcruncher.WriteMetricsJSON(&lazy, lrun); err != nil {
+				t.Fatal(err)
+			}
+			if lazy.String() != eager.String() {
+				t.Fatalf("seed %d par %d: lazy metrics differ from eager", seed, par)
+			}
+		}
+	}
+}

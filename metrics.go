@@ -78,8 +78,8 @@ func ComputeMetrics(r *Run) Metrics {
 	}
 	return Metrics{
 		Seed:  r.Config.World.Seed,
-		Walks: len(r.Dataset.Walks),
-		Steps: r.Dataset.StepCount(),
+		Walks: r.Analysis.WalkCount(),
+		Steps: r.Analysis.StepCount(),
 
 		SmugglingRate: r.Analysis.SmugglingRate(),
 		BounceRate:    r.Analysis.BounceRate(),

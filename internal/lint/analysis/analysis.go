@@ -10,9 +10,13 @@
 // in internal/lint/driver speak both the standalone (go list) and the
 // `go vet -vettool` unitchecker protocols around them.
 //
-// Only the subset crumblint needs is implemented: no Facts, no
-// Requires-DAG, no suggested fixes. Diagnostics are position-accurate
-// (token.Pos into the Pass's FileSet).
+// Only the subset crumblint needs is implemented: no Requires-DAG, no
+// suggested fixes. Diagnostics are position-accurate (token.Pos into
+// the Pass's FileSet). Object facts (facts.go) are supported: an
+// analyzer can export serializable statements about its package's
+// exported objects and import the statements dependency packages
+// exported, which is what makes the resource-discipline analyzers
+// interprocedural.
 package analysis
 
 import (
@@ -32,6 +36,17 @@ type Analyzer struct {
 	// optionally followed by a blank line and further paragraphs.
 	Doc string
 
+	// Version participates in the driver's cache key: bumping it
+	// invalidates every cached result and fact the analyzer has
+	// produced. Bump it whenever the analyzer's diagnostics or fact
+	// semantics change. Empty means "v0".
+	Version string
+
+	// UsesFacts declares that Run exports and/or imports object facts.
+	// The driver only plumbs dependency fact sets (and hashes them into
+	// cache keys) for analyzers that ask.
+	UsesFacts bool
+
 	// Run applies the analyzer to a single type-checked package.
 	Run func(*Pass) (interface{}, error)
 }
@@ -49,6 +64,71 @@ type Pass struct {
 
 	// Report delivers one finding. The driver fills this in.
 	Report func(Diagnostic)
+
+	// Facts collects the facts this pass proves about its own package's
+	// objects. The driver fills it in (nil disables fact export).
+	Facts *FactSet
+
+	// DepFacts returns the fact set of an imported package, or nil when
+	// the driver has none for that path — because the package is
+	// outside the fact domain (another module, the standard library) or
+	// was never analyzed. A non-nil but empty set means "analyzed,
+	// proved nothing", which is semantically different: the analyzer
+	// may then assume the absence of a fact is a negative answer.
+	DepFacts func(path string) *FactSet
+}
+
+// ExportObjectFact records fact f about obj, which must be declared at
+// package level in the pass's own package. Objects without a stable
+// cross-package name (locals, anonymous functions) are ignored.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.Facts == nil || obj == nil || obj.Pkg() != p.Pkg {
+		return
+	}
+	path := ObjectPath(obj)
+	if path == "" {
+		return
+	}
+	// Marshal errors mean a non-serializable fact type: a programming
+	// error in the analyzer, surfaced loudly.
+	if err := p.Facts.export(p.Analyzer.Name, path, f); err != nil {
+		panic(err)
+	}
+}
+
+// ImportObjectFact decodes into f the fact of f's type that this
+// analyzer exported about obj — from the current pass for same-package
+// objects, from the driver-provided dependency sets otherwise. It
+// reports whether a fact was found.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := ObjectPath(obj)
+	if path == "" {
+		return false
+	}
+	if obj.Pkg() == p.Pkg {
+		return p.Facts.lookup(p.Analyzer.Name, path, f)
+	}
+	if p.DepFacts == nil {
+		return false
+	}
+	return p.DepFacts(obj.Pkg().Path()).lookup(p.Analyzer.Name, path, f)
+}
+
+// PkgHasFacts reports whether facts exist for pkg: the pass's own
+// package, or a dependency the driver analyzed. When true, the absence
+// of a fact about one of pkg's objects is evidence (the analyzer looked
+// and proved nothing), so callers may be less conservative.
+func (p *Pass) PkgHasFacts(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	if pkg == p.Pkg {
+		return p.Facts != nil
+	}
+	return p.DepFacts != nil && p.DepFacts(pkg.Path()) != nil
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.

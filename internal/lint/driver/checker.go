@@ -24,6 +24,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 
 	"crumbcruncher/internal/lint/analysis"
 	"crumbcruncher/internal/lint/directive"
@@ -37,10 +38,30 @@ type unit struct {
 	goFiles    []string
 	goVersion  string // e.g. "go1.22"; empty means the toolchain default
 	compiler   string // "gc" unless the build tool says otherwise
+	deps       []string // module-internal dependency import paths (standalone)
 
 	// resolve maps a source-level import path to the export-data file
 	// of the package it denotes in this unit's build.
 	resolve func(path string) (string, error)
+
+	// depFacts returns the fact set a dependency package exported, or
+	// nil when none is available. Facts only flow inside the module
+	// (the fact domain): both drivers gate on the import path's first
+	// segment so standalone and vet-tool mode see the same facts and
+	// agree on diagnostics.
+	depFacts func(path string) *analysis.FactSet
+}
+
+// sameFactDomain reports whether two import paths share a first
+// segment — the module boundary within which facts travel.
+func sameFactDomain(a, b string) bool {
+	cut := func(s string) string {
+		if i := strings.IndexByte(s, '/'); i >= 0 {
+			return s[:i]
+		}
+		return s
+	}
+	return cut(a) == cut(b)
 }
 
 // finding pairs a diagnostic with the analyzer that produced it.
@@ -52,15 +73,16 @@ type finding struct {
 }
 
 // checkUnit parses, type-checks and analyzes one unit, returning
-// directive-filtered findings sorted by position. A parse or type error
-// is returned as-is (callers decide whether that is fatal: vet's
+// directive-filtered findings sorted by position plus the facts the
+// analyzers exported about the unit's own package. A parse or type
+// error is returned as-is (callers decide whether that is fatal: vet's
 // SucceedOnTypecheckFailure tolerates it, standalone mode does not).
-func checkUnit(fset *token.FileSet, u unit, analyzers []*analysis.Analyzer) ([]finding, error) {
+func checkUnit(fset *token.FileSet, u unit, analyzers []*analysis.Analyzer) ([]finding, *analysis.FactSet, error) {
 	var files []*ast.File
 	for _, name := range u.goFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		files = append(files, f)
 	}
@@ -92,7 +114,17 @@ func checkUnit(fset *token.FileSet, u unit, analyzers []*analysis.Analyzer) ([]f
 	}
 	pkg, err := tc.Check(u.importPath, fset, files, info)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+
+	// One fact set per unit: facts are namespaced by analyzer name, so
+	// every analyzer's exports land in the same encodable set.
+	facts := analysis.NewFactSet()
+	depFacts := func(path string) *analysis.FactSet {
+		if u.depFacts == nil || !sameFactDomain(path, u.importPath) {
+			return nil
+		}
+		return u.depFacts(path)
 	}
 
 	allows := directive.Collect(fset, files)
@@ -106,9 +138,13 @@ func checkUnit(fset *token.FileSet, u unit, analyzers []*analysis.Analyzer) ([]f
 			Pkg:       pkg,
 			TypesInfo: info,
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			Facts:     facts,
+		}
+		if a.UsesFacts {
+			pass.DepFacts = depFacts
 		}
 		if _, err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, u.id, err)
+			return nil, nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, u.id, err)
 		}
 		for _, d := range diags {
 			if allows.Allowed(a.Name, d.Pos) {
@@ -134,7 +170,7 @@ func checkUnit(fset *token.FileSet, u unit, analyzers []*analysis.Analyzer) ([]f
 		}
 		return a.analyzer < b.analyzer
 	})
-	return out, nil
+	return out, facts, nil
 }
 
 // printPlain writes findings in the canonical file:line:col form the

@@ -24,6 +24,12 @@ func Main(analyzers ...*analysis.Analyzer) {
 	versionFlag := flag.String("V", "", "print version and exit (-V=full is the go command's handshake)")
 	flagsFlag := flag.Bool("flags", false, "print analyzer flags in JSON (for the go command)")
 	testsFlag := flag.Bool("tests", true, "standalone mode: also analyze test files")
+	jsonFlag := flag.Bool("json", false, "standalone mode: emit findings as a JSON array")
+	sarifFlag := flag.Bool("sarif", false, "standalone mode: emit findings as SARIF 2.1.0")
+	baselineFlag := flag.String("baseline", "", "standalone mode: suppress findings listed in this baseline file")
+	writeBaselineFlag := flag.String("write-baseline", "", "standalone mode: write current findings to this baseline file and exit 0")
+	cacheFlag := flag.String("cache", "", "standalone mode: directory for the content-hash result cache (e.g. bin/.lintcache)")
+	parallelFlag := flag.Int("parallel", 0, "standalone mode: max concurrent units (0 = GOMAXPROCS)")
 	selected := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
 		usage := a.Doc
@@ -81,5 +87,21 @@ Analyzers (all run by default; -NAME selects a subset):
 	if len(args) == 0 {
 		flag.Usage()
 	}
-	runStandaloneMain(args, *testsFlag, enabled)
+	format := "plain"
+	if *jsonFlag {
+		format = "json"
+	}
+	if *sarifFlag {
+		format = "sarif"
+	}
+	runStandaloneMain(os.Stdout, Options{
+		Patterns:          args,
+		IncludeTests:      *testsFlag,
+		Analyzers:         enabled,
+		CacheDir:          *cacheFlag,
+		Format:            format,
+		BaselinePath:      *baselineFlag,
+		WriteBaselinePath: *writeBaselineFlag,
+		Parallel:          *parallelFlag,
+	})
 }

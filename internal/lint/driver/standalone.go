@@ -9,8 +9,10 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"crumbcruncher/internal/lint/analysis"
 )
@@ -25,6 +27,7 @@ type listPackage struct {
 	Export     string
 	DepOnly    bool
 	ForTest    string
+	Deps       []string
 	ImportMap  map[string]string
 	Module     *struct{ GoVersion string }
 	Error      *struct{ Err string }
@@ -45,7 +48,7 @@ func baseImportPath(id string) string {
 // build cache produced.
 func loadPackages(patterns []string, includeTests bool) ([]unit, error) {
 	args := []string{"list", "-export", "-deps",
-		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Export,DepOnly,ForTest,ImportMap,Module,Error"}
+		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Export,DepOnly,ForTest,Deps,ImportMap,Module,Error"}
 	if includeTests {
 		args = append(args, "-test")
 	}
@@ -88,6 +91,19 @@ func loadPackages(patterns []string, includeTests bool) ([]unit, error) {
 		}
 	}
 
+	// The analyzed set, keyed by canonical import path — dependency
+	// edges and fact lookups are both expressed against it.
+	analyzed := make(map[string]bool)
+	for _, p := range order {
+		if p.DepOnly || strings.HasSuffix(p.ImportPath, ".test") || len(p.GoFiles) == 0 {
+			continue
+		}
+		if hasVariant[p.ImportPath] && p.ForTest == "" {
+			continue
+		}
+		analyzed[baseImportPath(p.ImportPath)] = true
+	}
+
 	var units []unit
 	for _, p := range order {
 		if p.DepOnly || strings.HasSuffix(p.ImportPath, ".test") {
@@ -116,13 +132,25 @@ func loadPackages(patterns []string, includeTests bool) ([]unit, error) {
 		if p.Module != nil && p.Module.GoVersion != "" {
 			goVersion = "go" + p.Module.GoVersion
 		}
+		self := baseImportPath(p.ImportPath)
+		var deps []string
+		seenDep := map[string]bool{}
+		for _, d := range p.Deps {
+			d = baseImportPath(d)
+			if d != self && analyzed[d] && !seenDep[d] {
+				seenDep[d] = true
+				deps = append(deps, d)
+			}
+		}
+		sort.Strings(deps)
 		importMap := p.ImportMap
 		units = append(units, unit{
-			importPath: baseImportPath(p.ImportPath),
+			importPath: self,
 			id:         p.ImportPath,
 			goFiles:    files,
 			goVersion:  goVersion,
 			compiler:   "gc",
+			deps:       deps,
 			resolve: func(path string) (string, error) {
 				if mapped, ok := importMap[path]; ok {
 					path = mapped
@@ -139,35 +167,230 @@ func loadPackages(patterns []string, includeTests bool) ([]unit, error) {
 	return units, nil
 }
 
+// Options configures a standalone run.
+type Options struct {
+	Patterns     []string
+	IncludeTests bool
+	Analyzers    []*analysis.Analyzer
+
+	// CacheDir enables content-hash result caching when non-empty
+	// (bin/.lintcache in the Makefile). A cached unit re-runs zero
+	// analyzers.
+	CacheDir string
+
+	// Format selects the output written to w by Run: "plain" (default),
+	// "json" or "sarif".
+	Format string
+
+	// BaselinePath, when non-empty, names a JSON baseline file; known
+	// findings are suppressed from output and from the returned
+	// Findings slice.
+	BaselinePath string
+
+	// WriteBaselinePath, when non-empty, records the run's findings as
+	// the new baseline instead of reporting them.
+	WriteBaselinePath string
+
+	// Parallel caps concurrent units; 0 means GOMAXPROCS.
+	Parallel int
+}
+
+// Result reports what a standalone run did — the counters exist so
+// tests can assert cache behavior ("warm cache re-runs zero
+// analyzers") rather than trusting it.
+type Result struct {
+	Findings     []Finding // after baseline filtering, deterministic order
+	Suppressed   int       // findings matched by the baseline
+	UnitsTotal   int
+	UnitsCached  int
+	AnalyzersRun int // analyzer executions (UnitsTotal-UnitsCached per-unit sets)
+}
+
+// Run loads, schedules and analyzes the packages matched by
+// opts.Patterns, writes findings to w in opts.Format, and returns the
+// run's Result. Units run in parallel in dependency order (a unit
+// starts only after the units it imports have finished, so their facts
+// are available), with per-unit result caching when CacheDir is set.
+func Run(w io.Writer, opts Options) (*Result, error) {
+	if err := analysis.Validate(opts.Analyzers); err != nil {
+		return nil, err
+	}
+	units, err := loadPackages(opts.Patterns, opts.IncludeTests)
+	if err != nil {
+		return nil, err
+	}
+
+	var cache *lintCache
+	if opts.CacheDir != "" {
+		cache, err = openCache(opts.CacheDir, opts.Analyzers)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{UnitsTotal: len(units)}
+
+	// Dependency-ordered parallel execution: repeatedly run every unit
+	// whose module deps are done, as one parallel wave. The wave shape
+	// keeps completion deterministic without a work-stealing scheduler;
+	// package DAGs are shallow enough that waves saturate the pool.
+	type unitResult struct {
+		findings []finding
+		facts    *analysis.FactSet
+		cached   bool
+		err      error
+	}
+	done := make(map[string]*unitResult, len(units))
+	factsFor := func(path string) *analysis.FactSet {
+		if r, ok := done[path]; ok && r != nil {
+			return r.facts
+		}
+		return nil
+	}
+
+	par := opts.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	pending := make([]unit, len(units))
+	copy(pending, units)
+	for len(pending) > 0 {
+		var wave []unit
+		var next []unit
+		for _, u := range pending {
+			ready := true
+			for _, d := range u.deps {
+				if _, ok := done[d]; !ok {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, u)
+			} else {
+				next = append(next, u)
+			}
+		}
+		if len(wave) == 0 {
+			// A dependency cycle through the unit set cannot happen in
+			// valid Go; guard against it anyway.
+			return nil, fmt.Errorf("crumblint: dependency deadlock among %d units", len(next))
+		}
+
+		results := make([]*unitResult, len(wave))
+		sem := make(chan struct{}, par)
+		var wg sync.WaitGroup
+		for i := range wave {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				u := wave[i]
+				r := &unitResult{}
+				var key string
+				if cache != nil {
+					var hit bool
+					key, hit, r.findings, r.facts = cache.lookup(u, factsFor)
+					if hit {
+						r.cached = true
+						results[i] = r
+						return
+					}
+				}
+				u.depFacts = factsFor
+				fset := token.NewFileSet()
+				r.findings, r.facts, r.err = checkUnit(fset, u, opts.Analyzers)
+				if r.err == nil && cache != nil && key != "" {
+					cache.store(key, r.findings, r.facts)
+				}
+				results[i] = r
+			}(i)
+		}
+		wg.Wait()
+
+		for i, u := range wave {
+			r := results[i]
+			if r.err != nil {
+				return nil, fmt.Errorf("%s: %w", u.id, r.err)
+			}
+			done[u.importPath] = r
+			if r.cached {
+				res.UnitsCached++
+			} else {
+				res.AnalyzersRun += len(opts.Analyzers)
+			}
+		}
+		pending = next
+	}
+
+	// Deterministic output order: unit id order, findings pre-sorted.
+	var all []finding
+	for _, u := range units {
+		all = append(all, done[u.importPath].findings...)
+	}
+	findings := exportFindings(all)
+
+	if opts.WriteBaselinePath != "" {
+		if err := writeBaseline(opts.WriteBaselinePath, findings); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "wrote %d baseline entries to %s\n", len(findings), opts.WriteBaselinePath)
+		return res, nil
+	}
+
+	if opts.BaselinePath != "" {
+		base, err := loadBaseline(opts.BaselinePath)
+		if err != nil {
+			return nil, err
+		}
+		findings, res.Suppressed = base.filter(findings)
+	}
+	res.Findings = findings
+
+	switch opts.Format {
+	case "", "plain":
+		printFindings(w, findings)
+	case "json":
+		if err := writeJSON(w, findings); err != nil {
+			return nil, err
+		}
+	case "sarif":
+		if err := writeSARIF(w, opts.Analyzers, findings); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown output format %q (want plain, json or sarif)", opts.Format)
+	}
+	return res, nil
+}
+
 // RunStandalone analyzes the packages matched by patterns and writes
-// findings to w. It returns the number of findings; a non-nil error
-// means the analysis itself could not run (load or type-check failure).
+// findings to w in the plain format. It returns the number of findings;
+// a non-nil error means the analysis itself could not run (load or
+// type-check failure). It is the compatibility wrapper over Run that
+// the self-lint test and older callers use — no cache, no baseline.
 func RunStandalone(w io.Writer, patterns []string, includeTests bool, analyzers []*analysis.Analyzer) (int, error) {
-	units, err := loadPackages(patterns, includeTests)
+	res, err := Run(w, Options{
+		Patterns:     patterns,
+		IncludeTests: includeTests,
+		Analyzers:    analyzers,
+	})
 	if err != nil {
 		return 0, err
 	}
-	fset := token.NewFileSet()
-	total := 0
-	for _, u := range units {
-		findings, err := checkUnit(fset, u, analyzers)
-		if err != nil {
-			return total, fmt.Errorf("%s: %w", u.id, err)
-		}
-		printPlain(w, findings)
-		total += len(findings)
-	}
-	return total, nil
+	return len(res.Findings), nil
 }
 
-// runStandaloneMain is RunStandalone with command-line semantics.
-func runStandaloneMain(patterns []string, includeTests bool, analyzers []*analysis.Analyzer) {
-	n, err := RunStandalone(os.Stderr, patterns, includeTests, analyzers)
+// runStandaloneMain is Run with command-line semantics.
+func runStandaloneMain(w io.Writer, opts Options) {
+	res, err := Run(w, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname(), err)
 		os.Exit(2)
 	}
-	if n > 0 {
+	if len(res.Findings) > 0 {
 		os.Exit(1)
 	}
 }

@@ -29,6 +29,7 @@ type vetConfig struct {
 
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	PackageVetx map[string]string // dep import path -> fact file
 	Standard    map[string]bool
 
 	VetxOnly   bool
@@ -40,20 +41,65 @@ type vetConfig struct {
 // runUnitchecker analyzes the single unit described by cfgFile and
 // exits with vet's expected status: 0 clean, 1 findings, fatal on
 // driver errors. go vet caches results keyed on our -V=full output, so
-// the tool must also write the (empty) facts file it promised.
+// the tool must also write the facts file it promised.
 func runUnitchecker(cfgFile string, analyzers []*analysis.Analyzer) {
+	cfg, findings, err := execUnitchecker(cfgFile, analyzers)
+	if err != nil {
+		if cfg != nil && cfg.SucceedOnTypecheckFailure {
+			// The compiler will report the parse/type error itself;
+			// vet should stay quiet.
+			writeVetx(cfg, analysis.NewFactSet())
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+	printPlain(os.Stderr, findings)
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// execUnitchecker is runUnitchecker without the process semantics, so
+// the .cfg protocol (including fact round-trips through vetx files) is
+// testable in-process. On success the unit's facts have been written to
+// cfg.VetxOutput.
+func execUnitchecker(cfgFile string, analyzers []*analysis.Analyzer) (*vetConfig, []finding, error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
-		log.Fatal(err)
+		return nil, nil, err
 	}
 	cfg := new(vetConfig)
 	if err := json.Unmarshal(data, cfg); err != nil {
-		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+		return nil, nil, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, err)
 	}
 	if len(cfg.GoFiles) == 0 {
 		// The go command disallows packages with no Go files; the only
 		// exception, unsafe, is never vetted.
-		log.Fatalf("package has no files: %s", cfg.ImportPath)
+		return cfg, nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+
+	// Dependency facts come from the vetx files earlier vet runs wrote.
+	// Decoded sets are memoized per dependency; a missing or unreadable
+	// file means "no facts", which analyzers treat conservatively.
+	factCache := map[string]*analysis.FactSet{}
+	depFacts := func(path string) *analysis.FactSet {
+		if fs, ok := factCache[path]; ok {
+			return fs
+		}
+		var fs *analysis.FactSet
+		if file, ok := cfg.PackageVetx[path]; ok {
+			if raw, err := os.ReadFile(file); err == nil {
+				if decoded, err := analysis.DecodeFactSet(raw); err == nil {
+					fs = decoded
+				}
+			}
+		}
+		factCache[path] = fs
+		return fs
 	}
 
 	u := unit{
@@ -62,6 +108,7 @@ func runUnitchecker(cfgFile string, analyzers []*analysis.Analyzer) {
 		goFiles:    cfg.GoFiles,
 		goVersion:  cfg.GoVersion,
 		compiler:   cfg.Compiler,
+		depFacts:   depFacts,
 		resolve: func(path string) (string, error) {
 			if mapped, ok := cfg.ImportMap[path]; ok {
 				path = mapped
@@ -75,35 +122,25 @@ func runUnitchecker(cfgFile string, analyzers []*analysis.Analyzer) {
 	}
 
 	fset := token.NewFileSet()
-	findings, err := checkUnit(fset, u, analyzers)
+	findings, facts, err := checkUnit(fset, u, analyzers)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			// The compiler will report the parse/type error itself;
-			// vet should stay quiet.
-			writeVetx(cfg)
-			os.Exit(0)
-		}
-		log.Fatal(err)
+		return cfg, nil, err
 	}
-
-	writeVetx(cfg)
-	if cfg.VetxOnly {
-		os.Exit(0)
-	}
-	printPlain(os.Stderr, findings)
-	if len(findings) > 0 {
-		os.Exit(1)
-	}
-	os.Exit(0)
+	writeVetx(cfg, facts)
+	return cfg, findings, nil
 }
 
-// writeVetx records the unit's (empty — crumblint has no facts) fact
-// file so the build tool can cache the vet result.
-func writeVetx(cfg *vetConfig) {
+// writeVetx records the unit's fact file so the build tool can cache
+// the vet result and hand the facts to dependent units.
+func writeVetx(cfg *vetConfig, facts *analysis.FactSet) {
 	if cfg.VetxOutput == "" {
 		return
 	}
-	if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	data, err := facts.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
 		log.Fatal(err)
 	}
 }

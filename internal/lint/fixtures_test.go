@@ -34,3 +34,25 @@ func TestNoEntry(t *testing.T) {
 func TestFsyncpolicy(t *testing.T) {
 	linttest.Run(t, "testdata", lint.Fsyncpolicy, "fsyncpolicy", "fsyncpolicy/internal/runio")
 }
+
+// The interprocedural analyzers list their fact-exporting dependency
+// packages too, asserting those stay diagnostic-free while their facts
+// drive the cross-package cases in the main fixture.
+
+func TestMustClose(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MustClose, "mustclose", "mustclose/internal/runstore")
+}
+
+func TestPoolReset(t *testing.T) {
+	linttest.Run(t, "testdata", lint.PoolReset, "poolreset", "poolreset/internal/stats")
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, "testdata", lint.CtxFlow, "ctxflow", "ctxflow/internal/core")
+}
+
+func TestSharedWrite(t *testing.T) {
+	linttest.Run(t, "testdata", lint.SharedWrite,
+		"sharedwrite", "sharedwrite/internal/parallel",
+		"sharedwrite/internal/agg", "sharedwrite/internal/intern")
+}

@@ -21,6 +21,10 @@ func All() []*analysis.Analyzer {
 		SpanEnd,
 		NoEntry,
 		Fsyncpolicy,
+		MustClose,
+		PoolReset,
+		CtxFlow,
+		SharedWrite,
 	}
 }
 

@@ -59,6 +59,12 @@ type loader struct {
 	fset   *token.FileSet
 	pkgs   map[string]*fixturePkg
 	std    types.Importer
+
+	// facts memoizes per analyzer+package the fact set a fact-using
+	// analyzer exported for a fixture package, after a serialization
+	// round trip (Encode/DecodeFactSet) so fixtures also prove the facts
+	// survive the wire format the real drivers use.
+	facts map[string]*analysis.FactSet
 }
 
 type fixturePkg struct {
@@ -74,6 +80,7 @@ func newLoader(t *testing.T, srcDir string) *loader {
 		srcDir: srcDir,
 		fset:   token.NewFileSet(),
 		pkgs:   make(map[string]*fixturePkg),
+		facts:  make(map[string]*analysis.FactSet),
 	}
 	exports := stdExports(t, srcDir)
 	l.std = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
@@ -213,6 +220,10 @@ func (l *loader) check(a *analysis.Analyzer, path string) {
 		Pkg:       p.pkg,
 		TypesInfo: p.info,
 		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		Facts:     analysis.NewFactSet(),
+	}
+	if a.UsesFacts {
+		pass.DepFacts = func(dep string) *analysis.FactSet { return l.depFacts(a, dep) }
 	}
 	if _, err := a.Run(pass); err != nil {
 		l.t.Fatalf("%s on %s: %v", a.Name, path, err)
@@ -256,6 +267,52 @@ func (l *loader) check(a *analysis.Analyzer, path string) {
 			l.t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m)
 		}
 	}
+}
+
+// depFacts returns the facts analyzer a exports for the fixture
+// package at dep, running a over it (and, recursively, its fixture
+// dependencies) on first use. Non-fixture packages have no facts —
+// exactly like the real drivers, which keep facts inside the module.
+func (l *loader) depFacts(a *analysis.Analyzer, dep string) *analysis.FactSet {
+	l.t.Helper()
+	if fi, err := os.Stat(filepath.Join(l.srcDir, filepath.FromSlash(dep))); err != nil || !fi.IsDir() {
+		return nil
+	}
+	key := a.Name + "\x00" + dep
+	if fs, ok := l.facts[key]; ok {
+		return fs
+	}
+	l.facts[key] = nil // cycle guard; valid Go imports cannot recurse
+	p, err := l.load(dep)
+	if err != nil {
+		l.t.Fatalf("loading fact dependency %s: %v", dep, err)
+	}
+	facts := analysis.NewFactSet()
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      l.fset,
+		Files:     p.files,
+		Pkg:       p.pkg,
+		TypesInfo: p.info,
+		Report:    func(analysis.Diagnostic) {}, // diagnostics checked only for named packages
+		Facts:     facts,
+		DepFacts:  func(d string) *analysis.FactSet { return l.depFacts(a, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		l.t.Fatalf("%s on fact dependency %s: %v", a.Name, dep, err)
+	}
+	// Round-trip through the wire format so a fact that would not
+	// survive the vetx/cache encoding fails loudly here.
+	enc, err := facts.Encode()
+	if err != nil {
+		l.t.Fatalf("encoding facts of %s: %v", dep, err)
+	}
+	decoded, err := analysis.DecodeFactSet(enc)
+	if err != nil {
+		l.t.Fatalf("decoding facts of %s: %v", dep, err)
+	}
+	l.facts[key] = decoded
+	return decoded
 }
 
 // consume removes the first diagnostic at k matching rx.

@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"crumbcruncher/internal/lint/analysis"
+)
+
+// PoolReset enforces the pooled-object discipline PR 6 introduced on
+// the hot paths: every sync.Pool Get must reach a matching Put on all
+// paths (directly, via a deferred closure, via a Release method, or —
+// interprocedurally — via a callee whose disposition fact proves it
+// returns the value to its pool), and values must go back clean: maps
+// are cleared before Put, and pooled values parked in fields are nilled
+// after Put so the pool's copy is not still reachable.
+var PoolReset = &analysis.Analyzer{
+	Name: "poolreset",
+	Doc: "report sync.Pool values that are not returned to their pool on " +
+		"every path, maps returned without clear, and pooled fields not " +
+		"nilled after Put",
+	Version:   "v1",
+	UsesFacts: true,
+	Run:       runPoolReset,
+}
+
+func runPoolReset(pass *analysis.Pass) (interface{}, error) {
+	if _, err := runAcqRel(pass, engineConfig{
+		classes:   []*resourceClass{poolClass},
+		useFacts:  true,
+		skipTests: true,
+	}); err != nil {
+		return nil, err
+	}
+	checkPoolHygiene(pass)
+	return nil, nil
+}
+
+// poolClass models pooled values generically: acquired from any
+// sync.Pool's Get (or an Acquire-style helper returning a type with a
+// Release method), released by Put on any sync.Pool or by Release.
+var poolClass = &resourceClass{
+	noun: "pooled value",
+	sourceResults: func(pass *analysis.Pass, call *ast.CallExpr) []int {
+		if isPoolMethodCall(pass, call, "Get") {
+			return []int{0}
+		}
+		// Acquire helpers: package-level calls returning a releasable.
+		if isPkgLevelCall(pass, call) {
+			return typeResults(pass, call, hasReleaseMethod)
+		}
+		return nil
+	},
+	releaseMethods: map[string]bool{"Release": true},
+	borrow:         true,
+	releaseArg: func(pass *analysis.Pass, call *ast.CallExpr, argIdx int) bool {
+		return argIdx == 0 && isPoolMethodCall(pass, call, "Put")
+	},
+	// Any pointer-to-named or map parameter may carry a disposition:
+	// the pool element types are application-defined, so the net is
+	// wide and empty dispositions are simply not exported.
+	factParam: func(t types.Type) bool {
+		switch u := t.(type) {
+		case *types.Pointer:
+			_, ok := u.Elem().(*types.Named)
+			return ok
+		case *types.Map:
+			return true
+		}
+		return false
+	},
+	msgDiscard: "pooled value discarded; it will never return to its pool",
+	msgLeakReturn: func(name string, acq token.Position) string {
+		return fmt.Sprintf("pooled value %s from the Get at %s is not returned "+
+			"to the pool on this return path", name, acq)
+	},
+	msgLeakEnd: func(name string) string {
+		return fmt.Sprintf("pooled value %s is never returned to the pool; "+
+			"add a deferred Put or a Release call on every path", name)
+	},
+	msgReassign: func(name string, acq token.Position) string {
+		return fmt.Sprintf("pooled value %s reassigned before Put; the value "+
+			"from the Get at %s never returns to the pool", name, acq)
+	},
+	msgOverwrite: func(name string, acq token.Position) string {
+		return fmt.Sprintf("pooled value %s overwritten before Put; the value "+
+			"from the Get at %s never returns to the pool", name, acq)
+	},
+}
+
+// isPoolMethodCall matches `p.Get()` / `p.Put(x)` where p is a
+// sync.Pool (or *sync.Pool).
+func isPoolMethodCall(pass *analysis.Pass, call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+}
+
+// hasReleaseMethod reports whether t (or *t) has a Release method —
+// the shape of pool-backed acquire helpers like stats.AcquireRNG.
+func hasReleaseMethod(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, named.Obj().Pkg(), "Release")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Params().Len() == 0
+}
+
+// checkPoolHygiene enforces the reset contracts around each Put call:
+//
+//   - a map handed to Put must have been cleared (clear(m) or a
+//     range-delete loop) earlier in the same function, or stale entries
+//     survive into the next Get;
+//   - a pooled value read out of a field and handed to Put must have
+//     the field nilled afterwards, or the released value is still
+//     reachable and a later use races with the pool's next owner.
+func checkPoolHygiene(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, body := range functionBodies(file) {
+			checkPutSites(pass, body)
+		}
+	}
+}
+
+func checkPutSites(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Gather, in source order: clear events per object, nil-assignment
+	// positions per field selector text, and Put sites.
+	type putSite struct {
+		call *ast.CallExpr
+		arg  ast.Expr
+	}
+	var puts []putSite
+	cleared := map[types.Object][]token.Pos{}
+	nilled := map[string][]token.Pos{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := unwrapExpr(n.Fun).(*ast.Ident); ok && id.Name == "clear" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) == 1 {
+					if obj := rootObject(pass, n.Args[0]); obj != nil {
+						cleared[obj] = append(cleared[obj], n.Pos())
+					}
+				}
+			}
+			if isPoolMethodCall(pass, n, "Put") && len(n.Args) == 1 {
+				puts = append(puts, putSite{n, n.Args[0]})
+			}
+		case *ast.RangeStmt:
+			// `for k := range m { delete(m, k) }` clears m too.
+			if obj := rootObject(pass, n.X); obj != nil && rangeDeletes(pass, n, obj) {
+				cleared[obj] = append(cleared[obj], n.Pos())
+			}
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				sel, ok := l.(*ast.SelectorExpr)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if id, ok := unwrapExpr(n.Rhs[i]).(*ast.Ident); ok && id.Name == "nil" {
+					nilled[selectorText(sel)] = append(nilled[selectorText(sel)], n.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	for _, p := range puts {
+		arg := unwrapExpr(p.arg)
+		if tv, ok := pass.TypesInfo.Types[arg]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				obj := rootObject(pass, arg)
+				ok := false
+				for _, cp := range cleared[obj] {
+					if cp < p.call.Pos() {
+						ok = true
+					}
+				}
+				if !ok {
+					pass.Reportf(p.call.Pos(),
+						"pooled map returned to the pool without clear; stale entries "+
+							"survive into the next Get")
+				}
+				continue
+			}
+		}
+		if sel, ok := arg.(*ast.SelectorExpr); ok {
+			key := selectorText(sel)
+			ok := false
+			for _, np := range nilled[key] {
+				if np > p.call.Pos() {
+					ok = true
+				}
+			}
+			if !ok {
+				pass.Reportf(p.call.Pos(),
+					"pooled field %s is not set to nil after Put; the released value "+
+						"is still reachable and a later use races with the pool's next owner",
+					selectorText(sel))
+			}
+		}
+	}
+}
+
+// rootObject resolves an expression to the object of its root
+// identifier (m, x.f -> x, s[i] -> s), or nil.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := unwrapExpr(e).(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// rangeDeletes reports whether the range body deletes every visited key
+// from obj's map.
+func rangeDeletes(pass *analysis.Pass, rng *ast.RangeStmt, obj types.Object) bool {
+	for _, s := range rng.Body.List {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) < 1 {
+			continue
+		}
+		id, ok := unwrapExpr(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "delete" {
+			continue
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			continue
+		}
+		if rootObject(pass, call.Args[0]) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// selectorText renders x.f (and deeper chains) as a comparison key.
+func selectorText(sel *ast.SelectorExpr) string {
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		return x.Name + "." + sel.Sel.Name
+	case *ast.SelectorExpr:
+		return selectorText(x) + "." + sel.Sel.Name
+	default:
+		return "?." + sel.Sel.Name
+	}
+}

@@ -1,0 +1,12 @@
+// Package agg is a fixture aggregate whose mutating method exports a
+// sharedMutFact — the cross-package half of the sharedwrite analysis.
+package agg
+
+// Counter accumulates values. It is NOT concurrency-safe.
+type Counter struct{ n int }
+
+// Add mutates the receiver. Exports MutatesRecv.
+func (c *Counter) Add(x int) { c.n += x }
+
+// Total borrows the receiver.
+func (c *Counter) Total() int { return c.n }

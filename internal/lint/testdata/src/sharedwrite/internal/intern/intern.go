@@ -1,0 +1,19 @@
+// Package intern is a fixture stand-in for the sharded interner: its
+// mutations are concurrency-safe and deterministic by design, so the
+// sharedwrite analyzer sanctions them by package identity.
+package intern
+
+// Table interns strings (fixture: no real sharding or locking needed).
+type Table struct{ m map[string]string }
+
+// New builds an empty table.
+func New() *Table { return &Table{m: map[string]string{}} }
+
+// Intern returns the canonical copy of s, mutating the table.
+func (t *Table) Intern(s string) string {
+	if v, ok := t.m[s]; ok {
+		return v
+	}
+	t.m[s] = s
+	return s
+}

@@ -1,0 +1,11 @@
+// Package parallel is a fixture stand-in for the fan-out package; the
+// analyzer keys on the package suffix, not the implementation.
+package parallel
+
+// ForEach runs body for every index in [0, n). The real implementation
+// fans out across workers; the fixture runs serially.
+func ForEach(n int, body func(i int)) {
+	for i := 0; i < n; i++ {
+		body(i)
+	}
+}

@@ -358,6 +358,7 @@ func (st *segmentStore) loadSealedLocked(n int) (map[int][]byte, error) {
 	if err != nil {
 		return corrupt(err)
 	}
+	defer gz.Close()
 	data, err := io.ReadAll(gz)
 	if err != nil {
 		return corrupt(err)
